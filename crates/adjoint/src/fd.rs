@@ -1,0 +1,81 @@
+//! Finite-difference sensitivity: the gold-standard oracle for tests.
+//!
+//! Reruns the full transient with `p ± ε` and central-differences the
+//! objective. Two complete simulations per parameter — only viable for
+//! validation, which is exactly what it is used for here.
+
+use crate::objective::Objective;
+use masc_circuit::transient::{transient, NullSink, TranError, TranOptions};
+use masc_circuit::{Circuit, ParamRef};
+
+/// Errors from finite-difference evaluation.
+#[derive(Debug)]
+pub enum FdError {
+    /// A perturbed transient failed.
+    Tran(TranError),
+    /// Elaboration of the perturbed circuit failed.
+    Circuit(masc_circuit::CircuitError),
+}
+
+impl std::fmt::Display for FdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FdError::Tran(e) => write!(f, "perturbed transient failed: {e}"),
+            FdError::Circuit(e) => write!(f, "perturbed circuit invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FdError {}
+
+impl From<TranError> for FdError {
+    fn from(e: TranError) -> Self {
+        FdError::Tran(e)
+    }
+}
+
+impl From<masc_circuit::CircuitError> for FdError {
+    fn from(e: masc_circuit::CircuitError) -> Self {
+        FdError::Circuit(e)
+    }
+}
+
+/// Evaluates an objective on a fresh transient of `circuit`.
+///
+/// # Errors
+///
+/// Returns [`FdError`] if elaboration or the transient fails.
+pub fn objective_value(
+    circuit: &Circuit,
+    opts: &TranOptions,
+    objective: &Objective,
+) -> Result<f64, FdError> {
+    let mut circuit = circuit.clone();
+    let mut system = circuit.elaborate()?;
+    let result = transient(&circuit, &mut system, opts, &mut NullSink)?;
+    Ok(objective.value(&result.states, &result.steps))
+}
+
+/// Central finite difference `dO/dp ≈ (O(p+ε) − O(p−ε)) / 2ε` with
+/// `ε = max(|p|·rel_eps, abs_floor)`.
+///
+/// # Errors
+///
+/// Returns [`FdError`] if either perturbed run fails.
+pub fn finite_difference(
+    circuit: &Circuit,
+    opts: &TranOptions,
+    objective: &Objective,
+    param: &ParamRef,
+    rel_eps: f64,
+) -> Result<f64, FdError> {
+    let p0 = circuit.param_value(param);
+    let eps = (p0.abs() * rel_eps).max(1e-30);
+    let mut hi = circuit.clone();
+    hi.set_param_value(param, p0 + eps);
+    let mut lo = circuit.clone();
+    lo.set_param_value(param, p0 - eps);
+    let o_hi = objective_value(&hi, opts, objective)?;
+    let o_lo = objective_value(&lo, opts, objective)?;
+    Ok((o_hi - o_lo) / (2.0 * eps))
+}

@@ -1,0 +1,695 @@
+//! Jacobian stores: the four strategies Fig. 7 compares.
+//!
+//! A [`ForwardRecord`] plugs into the transient analysis as a
+//! [`JacobianSink`] and captures, per accepted step, the solution `x_n`,
+//! step size `h_n`, and — depending on [`StoreConfig`] — the `G`/`C`
+//! matrices:
+//!
+//! - [`StoreConfig::Recompute`] — store nothing; the reverse pass
+//!   re-evaluates every device (Xyce-like; the `T_Jac` cost of Table 1).
+//! - [`StoreConfig::RawMemory`] — keep raw value arrays (the memory wall of
+//!   Fig. 1).
+//! - [`StoreConfig::Disk`] — stream raw values through a file, optionally
+//!   throttled to a target bandwidth. The throttle exists because a CI
+//!   box's page cache would otherwise "read" at memory speed and hide the
+//!   I/O wall the paper measures against a ~0.5 GB/s SSD.
+//! - [`StoreConfig::Compressed`] — MASC in-memory compression
+//!   (paper Algorithm 2).
+
+use masc_circuit::transient::JacobianSink;
+use masc_circuit::System;
+use masc_compress::{CompressedTensor, MascConfig, TensorCompressor};
+use masc_sparse::{CsrMatrix, Pattern};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which Jacobian storage strategy to use.
+#[derive(Debug, Clone)]
+pub enum StoreConfig {
+    /// Recompute matrices during the reverse pass (store only states).
+    Recompute,
+    /// Keep raw matrices in memory.
+    RawMemory,
+    /// Stream raw matrices through a file.
+    Disk {
+        /// Directory for the spill file.
+        dir: PathBuf,
+        /// Simulated bandwidth in bytes/second (`None` = unthrottled).
+        bandwidth: Option<f64>,
+    },
+    /// MASC in-memory compression.
+    Compressed(MascConfig),
+}
+
+/// Errors from the disk-backed store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O failure in the spill file.
+    Io(std::io::Error),
+    /// A compressed block failed to decode.
+    Compress(masc_compress::CompressError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "jacobian spill file: {e}"),
+            StoreError::Compress(e) => write!(f, "jacobian decompression: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<masc_compress::CompressError> for StoreError {
+    fn from(e: masc_compress::CompressError) -> Self {
+        StoreError::Compress(e)
+    }
+}
+
+/// How the per-step matrices are split into the two stored tensors.
+///
+/// `G` and `C` are gathered onto their own sub-patterns before storage so
+/// the stored bytes are exactly the paper's `S_NZ` — no structural zeros
+/// from the union pattern are stored or compressed.
+#[derive(Debug, Clone)]
+pub struct TensorLayout {
+    /// The solver's union pattern.
+    pub union: Arc<Pattern>,
+    /// `G`'s own sub-pattern.
+    pub g_pattern: Arc<Pattern>,
+    /// `C`'s own sub-pattern.
+    pub c_pattern: Arc<Pattern>,
+    /// Union value index of each `G` sub-pattern non-zero.
+    pub g_slots: Arc<Vec<usize>>,
+    /// Union value index of each `C` sub-pattern non-zero.
+    pub c_slots: Arc<Vec<usize>>,
+}
+
+impl TensorLayout {
+    /// Extracts the layout from an elaborated system.
+    pub fn of(system: &System) -> Self {
+        Self {
+            union: system.pattern.clone(),
+            g_pattern: system.g_pattern.clone(),
+            c_pattern: system.c_pattern.clone(),
+            g_slots: system.g_slots.clone(),
+            c_slots: system.c_slots.clone(),
+        }
+    }
+
+    fn gather(slots: &[usize], union_values: &[f64]) -> Vec<f64> {
+        slots.iter().map(|&s| union_values[s]).collect()
+    }
+}
+
+/// Throttles a transfer to `bandwidth` bytes/second by sleeping off the
+/// surplus.
+fn throttle(bytes: usize, bandwidth: Option<f64>, elapsed: Duration) -> Duration {
+    let Some(bw) = bandwidth else {
+        return Duration::ZERO;
+    };
+    let target = Duration::from_secs_f64(bytes as f64 / bw);
+    if target > elapsed {
+        let sleep = target - elapsed;
+        std::thread::sleep(sleep);
+        sleep
+    } else {
+        Duration::ZERO
+    }
+}
+
+enum Storage {
+    Recompute,
+    Raw {
+        g: Vec<Vec<f64>>,
+        c: Vec<Vec<f64>>,
+    },
+    Disk {
+        file: File,
+        path: PathBuf,
+        offsets: Vec<u64>,
+        bandwidth: Option<f64>,
+    },
+    Compressed {
+        g: TensorCompressor,
+        c: TensorCompressor,
+    },
+}
+
+impl std::fmt::Debug for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Storage::Recompute => "Recompute",
+            Storage::Raw { .. } => "Raw",
+            Storage::Disk { .. } => "Disk",
+            Storage::Compressed { .. } => "Compressed",
+        };
+        write!(f, "Storage::{name}")
+    }
+}
+
+/// Captures everything the reverse pass needs from the forward sweep.
+#[derive(Debug)]
+pub struct ForwardRecord {
+    layout: TensorLayout,
+    /// Per step: time.
+    pub times: Vec<f64>,
+    /// Per step: step size `h_n` (index 0 unused).
+    pub hs: Vec<f64>,
+    /// Per step: solution vector.
+    pub states: Vec<Vec<f64>>,
+    storage: Storage,
+    /// Time spent capturing/compressing/writing during the forward pass.
+    pub store_time: Duration,
+    /// Peak storage footprint observed (bytes).
+    pub peak_bytes: usize,
+}
+
+impl ForwardRecord {
+    /// Creates a record for the given tensor layout and store strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the disk spill file cannot be created.
+    pub fn new(layout: TensorLayout, config: &StoreConfig) -> Result<Self, StoreError> {
+        let storage = match config {
+            StoreConfig::Recompute => Storage::Recompute,
+            StoreConfig::RawMemory => Storage::Raw {
+                g: Vec::new(),
+                c: Vec::new(),
+            },
+            StoreConfig::Disk { dir, bandwidth } => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!(
+                    "masc-jacobians-{}.bin",
+                    std::process::id()
+                ));
+                let file = File::options()
+                    .create(true)
+                    .truncate(true)
+                    .read(true)
+                    .write(true)
+                    .open(&path)?;
+                Storage::Disk {
+                    file,
+                    path,
+                    offsets: Vec::new(),
+                    bandwidth: *bandwidth,
+                }
+            }
+            StoreConfig::Compressed(masc) => Storage::Compressed {
+                g: TensorCompressor::new(layout.g_pattern.clone(), masc.clone()),
+                c: TensorCompressor::new(layout.c_pattern.clone(), masc.clone()),
+            },
+        };
+        Ok(Self {
+            layout,
+            times: Vec::new(),
+            hs: Vec::new(),
+            states: Vec::new(),
+            storage,
+            store_time: Duration::ZERO,
+            peak_bytes: 0,
+        })
+    }
+
+    /// Number of recorded steps (including the DC point).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Current storage footprint in bytes (matrix data only).
+    pub fn storage_bytes(&self) -> usize {
+        match &self.storage {
+            Storage::Recompute => 0,
+            Storage::Raw { g, c } => {
+                g.len() * self.layout.g_pattern.nnz() * 8
+                    + c.len() * self.layout.c_pattern.nnz() * 8
+            }
+            Storage::Disk { offsets, .. } => offsets.last().copied().unwrap_or(0) as usize,
+            Storage::Compressed { g, c } => g.memory_bytes() + c.memory_bytes(),
+        }
+    }
+
+    /// Finalizes into a backward reader, discarding the run metadata
+    /// (see [`ForwardRecord::into_parts`] to keep it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the spill file cannot be rewound.
+    pub fn into_reader(self) -> Result<BackwardJacobians, StoreError> {
+        let (_, reader) = self.into_parts()?;
+        Ok(reader)
+    }
+
+    /// Compressed-tensor view (only for [`StoreConfig::Compressed`] records;
+    /// used by benchmarks to report ratios).
+    pub fn compressed_tensors(self) -> Option<(CompressedTensor, CompressedTensor)> {
+        match self.storage {
+            Storage::Compressed { g, c } => Some((g.finish(), c.finish())),
+            _ => None,
+        }
+    }
+
+    /// Raw matrix histories, available only for [`StoreConfig::RawMemory`]
+    /// records (the direct method consumes them in forward order).
+    pub fn raw_matrices(&self) -> Option<(&[Vec<f64>], &[Vec<f64>])> {
+        match &self.storage {
+            Storage::Raw { g, c } => Some((g.as_slice(), c.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// Splits the record into the run metadata (times, steps, states) and
+    /// the backward matrix reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the spill file cannot be rewound.
+    pub fn into_parts(mut self) -> Result<(RunMeta, BackwardJacobians), StoreError> {
+        let meta = RunMeta {
+            times: std::mem::take(&mut self.times),
+            hs: std::mem::take(&mut self.hs),
+            states: std::mem::take(&mut self.states),
+        };
+        let reader = {
+            let g_nnz = self.layout.g_pattern.nnz();
+            let c_nnz = self.layout.c_pattern.nnz();
+            let reader = match self.storage {
+                Storage::Recompute => ReaderImpl::Recompute,
+                Storage::Raw { g, c } => ReaderImpl::Raw { g, c },
+                Storage::Disk {
+                    file,
+                    path,
+                    offsets,
+                    bandwidth,
+                } => ReaderImpl::Disk {
+                    file,
+                    path,
+                    offsets,
+                    bandwidth,
+                },
+                Storage::Compressed { g, c } => ReaderImpl::Compressed {
+                    g: g.finish().into_backward(),
+                    c: c.finish().into_backward(),
+                },
+            };
+            BackwardJacobians {
+                g_nnz,
+                c_nnz,
+                next_step: meta.times.len(),
+                reader,
+                fetch_time: Duration::ZERO,
+                io_wait: Duration::ZERO,
+            }
+        };
+        Ok((meta, reader))
+    }
+}
+
+/// The per-step scalars and states of a forward run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMeta {
+    /// Time points.
+    pub times: Vec<f64>,
+    /// Step sizes (`hs[0]` unused).
+    pub hs: Vec<f64>,
+    /// Solution vectors.
+    pub states: Vec<Vec<f64>>,
+}
+
+impl JacobianSink for ForwardRecord {
+    fn on_step(&mut self, step: usize, t: f64, h: f64, x: &[f64], g: &CsrMatrix, c: &CsrMatrix) {
+        debug_assert_eq!(step, self.times.len(), "steps must arrive in order");
+        self.times.push(t);
+        self.hs.push(h);
+        self.states.push(x.to_vec());
+        let start = Instant::now();
+        if matches!(self.storage, Storage::Recompute) {
+            self.store_time += start.elapsed();
+            return;
+        }
+        // Gather each tensor's real non-zeros off the union pattern.
+        let g_compact = TensorLayout::gather(&self.layout.g_slots, g.values());
+        let c_compact = TensorLayout::gather(&self.layout.c_slots, c.values());
+        match &mut self.storage {
+            Storage::Recompute => unreachable!("handled above"),
+            Storage::Raw { g: gs, c: cs } => {
+                gs.push(g_compact);
+                cs.push(c_compact);
+            }
+            Storage::Disk {
+                file,
+                offsets,
+                bandwidth,
+                ..
+            } => {
+                let mut write_all = |vals: &[f64]| -> std::io::Result<()> {
+                    let mut buf = Vec::with_capacity(vals.len() * 8);
+                    for v in vals {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                    let t0 = Instant::now();
+                    file.write_all(&buf)?;
+                    throttle(buf.len(), *bandwidth, t0.elapsed());
+                    Ok(())
+                };
+                write_all(&g_compact).expect("jacobian spill write failed");
+                write_all(&c_compact).expect("jacobian spill write failed");
+                let prev = offsets.last().copied().unwrap_or(0);
+                offsets.push(prev + (g_compact.len() + c_compact.len()) as u64 * 8);
+            }
+            Storage::Compressed { g: gt, c: ct } => {
+                gt.push(&g_compact);
+                ct.push(&c_compact);
+            }
+        }
+        self.store_time += start.elapsed();
+        self.peak_bytes = self.peak_bytes.max(self.storage_bytes());
+    }
+}
+
+enum ReaderImpl {
+    Recompute,
+    Raw {
+        g: Vec<Vec<f64>>,
+        c: Vec<Vec<f64>>,
+    },
+    Disk {
+        file: File,
+        path: PathBuf,
+        offsets: Vec<u64>,
+        bandwidth: Option<f64>,
+    },
+    Compressed {
+        g: masc_compress::BackwardDecompressor,
+        c: masc_compress::BackwardDecompressor,
+    },
+}
+
+/// One reverse-order step's matrices, or a request to recompute them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepMatrices {
+    /// The stored `G` and `C` value arrays in their *compact* sub-pattern
+    /// form (scatter back with [`System::scatter_g`]/[`scatter_c`]).
+    ///
+    /// [`System::scatter_g`]: masc_circuit::System::scatter_g
+    /// [`scatter_c`]: masc_circuit::System::scatter_c
+    Stored {
+        /// `G = ∂f/∂x` values over the `G` sub-pattern.
+        g: Vec<f64>,
+        /// `C = ∂q/∂x` values over the `C` sub-pattern.
+        c: Vec<f64>,
+    },
+    /// Nothing stored — the caller must re-evaluate the devices at the
+    /// recorded state (the Xyce-like baseline).
+    Recompute,
+}
+
+/// Reverse-order reader over a [`ForwardRecord`]'s matrices.
+#[derive(Debug)]
+pub struct BackwardJacobians {
+    g_nnz: usize,
+    c_nnz: usize,
+    next_step: usize,
+    reader: ReaderImpl,
+    /// Total time spent fetching (reading / decompressing).
+    pub fetch_time: Duration,
+    /// Portion of `fetch_time` spent in simulated I/O throttling.
+    pub io_wait: Duration,
+}
+
+impl std::fmt::Debug for ReaderImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ReaderImpl::Recompute => "Recompute",
+            ReaderImpl::Raw { .. } => "Raw",
+            ReaderImpl::Disk { .. } => "Disk",
+            ReaderImpl::Compressed { .. } => "Compressed",
+        };
+        write!(f, "ReaderImpl::{name}")
+    }
+}
+
+impl BackwardJacobians {
+    /// Creates a standalone recompute-mode reader (no stored matrices; the
+    /// adjoint engine re-evaluates devices at every step). Used to run
+    /// repeated reverse sweeps over one forward record, as a per-objective
+    /// Xyce-like baseline does.
+    pub fn recompute(steps: usize) -> Self {
+        Self {
+            g_nnz: 0,
+            c_nnz: 0,
+            next_step: steps,
+            reader: ReaderImpl::Recompute,
+            fetch_time: Duration::ZERO,
+            io_wait: Duration::ZERO,
+        }
+    }
+
+    /// Steps not yet fetched.
+    pub fn remaining(&self) -> usize {
+        self.next_step
+    }
+
+    /// Fetches the matrices of the next step in reverse order
+    /// (`N, N−1, …, 0`). Returns `None` when exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O or decompression failure.
+    pub fn next_back(&mut self) -> Result<Option<(usize, StepMatrices)>, StoreError> {
+        if self.next_step == 0 {
+            return Ok(None);
+        }
+        self.next_step -= 1;
+        let step = self.next_step;
+        let start = Instant::now();
+        let matrices = match &mut self.reader {
+            ReaderImpl::Recompute => StepMatrices::Recompute,
+            ReaderImpl::Raw { g, c } => StepMatrices::Stored {
+                g: g[step].clone(),
+                c: c[step].clone(),
+            },
+            ReaderImpl::Disk {
+                file,
+                offsets,
+                bandwidth,
+                ..
+            } => {
+                let begin = if step == 0 { 0 } else { offsets[step - 1] };
+                file.seek(SeekFrom::Start(begin))?;
+                let len = (self.g_nnz + self.c_nnz) * 8;
+                let mut buf = vec![0u8; len];
+                let t0 = Instant::now();
+                file.read_exact(&mut buf)?;
+                self.io_wait += throttle(len, *bandwidth, t0.elapsed());
+                let decode = |half: &[u8]| -> Vec<f64> {
+                    half.chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                        .collect()
+                };
+                let g = decode(&buf[..self.g_nnz * 8]);
+                let c = decode(&buf[self.g_nnz * 8..]);
+                StepMatrices::Stored { g, c }
+            }
+            ReaderImpl::Compressed { g, c } => {
+                let (gs, gv) = g
+                    .next_matrix()?
+                    .expect("G tensor shorter than step count");
+                let (cs, cv) = c
+                    .next_matrix()?
+                    .expect("C tensor shorter than step count");
+                debug_assert_eq!(gs, step);
+                debug_assert_eq!(cs, step);
+                StepMatrices::Stored { g: gv, c: cv }
+            }
+        };
+        self.fetch_time += start.elapsed();
+        Ok(Some((step, matrices)))
+    }
+
+    /// Removes the disk spill file, if any. Called on drop as well.
+    pub fn cleanup(&mut self) {
+        if let ReaderImpl::Disk { path, .. } = &self.reader {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for BackwardJacobians {
+    fn drop(&mut self) {
+        self.cleanup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masc_sparse::TripletMatrix;
+
+    fn pattern() -> Arc<Pattern> {
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t.add(i, i, 1.0);
+            if i > 0 {
+                t.add(i, i - 1, 1.0);
+                t.add(i - 1, i, 1.0);
+            }
+        }
+        t.to_csr().pattern().clone()
+    }
+
+    /// A trivial layout where both tensors cover the whole union pattern.
+    fn layout(p: &Arc<Pattern>) -> TensorLayout {
+        let identity = Arc::new((0..p.nnz()).collect::<Vec<_>>());
+        TensorLayout {
+            union: p.clone(),
+            g_pattern: p.clone(),
+            c_pattern: p.clone(),
+            g_slots: identity.clone(),
+            c_slots: identity,
+        }
+    }
+
+    fn feed(record: &mut ForwardRecord, pattern: &Arc<Pattern>, steps: usize) -> Vec<Vec<f64>> {
+        let mut g_history = Vec::new();
+        for s in 0..steps {
+            let g_vals: Vec<f64> = (0..pattern.nnz())
+                .map(|k| (s as f64) + (k as f64) * 0.1)
+                .collect();
+            let c_vals: Vec<f64> = (0..pattern.nnz()).map(|k| -(k as f64) - 1.0).collect();
+            let g = CsrMatrix::from_parts(pattern.clone(), g_vals.clone()).unwrap();
+            let c = CsrMatrix::from_parts(pattern.clone(), c_vals).unwrap();
+            let x = vec![s as f64; 3];
+            record.on_step(s, s as f64 * 1e-6, 1e-6, &x, &g, &c);
+            g_history.push(g_vals);
+        }
+        g_history
+    }
+
+    fn check_backward(config: StoreConfig) {
+        let p = pattern();
+        let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
+        let g_history = feed(&mut record, &p, 5);
+        assert_eq!(record.len(), 5);
+        let mut reader = record.into_reader().unwrap();
+        let mut expect = 5usize;
+        while let Some((step, matrices)) = reader.next_back().unwrap() {
+            expect -= 1;
+            assert_eq!(step, expect);
+            match matrices {
+                StepMatrices::Stored { g, .. } => assert_eq!(g, g_history[step]),
+                StepMatrices::Recompute => {
+                    assert!(matches!(config, StoreConfig::Recompute))
+                }
+            }
+        }
+        assert_eq!(expect, 0);
+    }
+
+    #[test]
+    fn raw_memory_round_trip() {
+        check_backward(StoreConfig::RawMemory);
+    }
+
+    #[test]
+    fn recompute_yields_markers() {
+        check_backward(StoreConfig::Recompute);
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        check_backward(StoreConfig::Disk {
+            dir: std::env::temp_dir().join("masc-test-disk"),
+            bandwidth: None,
+        });
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        check_backward(StoreConfig::Compressed(MascConfig::default()));
+    }
+
+    #[test]
+    fn storage_bytes_ordering() {
+        // Raw > Compressed > Recompute for a smooth series.
+        let p = pattern();
+        let mut sizes = Vec::new();
+        for config in [
+            StoreConfig::RawMemory,
+            StoreConfig::Compressed(MascConfig::default()),
+            StoreConfig::Recompute,
+        ] {
+            let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
+            feed(&mut record, &p, 20);
+            sizes.push(record.storage_bytes());
+        }
+        assert!(sizes[0] > sizes[1], "raw {} vs compressed {}", sizes[0], sizes[1]);
+        assert_eq!(sizes[2], 0);
+    }
+
+    #[test]
+    fn disk_throttle_slows_reads() {
+        let p = pattern();
+        let dir = std::env::temp_dir().join("masc-test-throttle");
+        // ~50 kB/s: 5 steps × 2 × 7 nz × 8 B = 560 B → ≥ 10 ms total.
+        let config = StoreConfig::Disk {
+            dir,
+            bandwidth: Some(50_000.0),
+        };
+        let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
+        feed(&mut record, &p, 5);
+        let mut reader = record.into_reader().unwrap();
+        while reader.next_back().unwrap().is_some() {}
+        assert!(
+            reader.io_wait > Duration::from_millis(5),
+            "expected throttling, waited {:?}",
+            reader.io_wait
+        );
+    }
+
+    #[test]
+    fn spill_file_is_cleaned_up() {
+        let p = pattern();
+        let dir = std::env::temp_dir().join("masc-test-cleanup");
+        let config = StoreConfig::Disk {
+            dir: dir.clone(),
+            bandwidth: None,
+        };
+        let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
+        feed(&mut record, &p, 2);
+        let file = dir.join(format!("masc-jacobians-{}.bin", std::process::id()));
+        assert!(file.exists());
+        {
+            let mut reader = record.into_reader().unwrap();
+            reader.next_back().unwrap();
+        } // drop
+        assert!(!file.exists());
+    }
+
+    #[test]
+    fn empty_record_reader() {
+        let p = pattern();
+        let record = ForwardRecord::new(layout(&p), &StoreConfig::RawMemory).unwrap();
+        assert!(record.is_empty());
+        let mut reader = record.into_reader().unwrap();
+        assert!(reader.next_back().unwrap().is_none());
+        assert_eq!(reader.remaining(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks: the compression stack's hot loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use masc_baselines::all_baselines;
+use masc_bitio::{BitReader, BitWriter};
+use masc_compress::residual::{decode_residual, encode_residual, ResidualState};
+use masc_compress::{compress_matrix, decompress_matrix, CompressStats, MascConfig, StampMaps};
+use masc_sparse::TripletMatrix;
+
+/// A Jacobian-like value stream: mostly constant with a varying minority.
+fn jacobian_stream(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let base = if i % 3 == 0 { 2e-3 } else { -1e-3 };
+            if i % 4 == 0 {
+                base * (1.0 + 1e-5 * (i as f64 * 0.001).sin())
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+fn bench_bitio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitio");
+    group.throughput(Throughput::Bytes(8 * 4096));
+    group.bench_function("write_bits_mixed", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(8 * 4096);
+            for i in 0..4096u64 {
+                w.write_bits(i, ((i % 63) + 1) as u32);
+            }
+            w.into_bytes()
+        })
+    });
+    let mut w = BitWriter::new();
+    for i in 0..4096u64 {
+        w.write_bits(i, ((i % 63) + 1) as u32);
+    }
+    let bytes = w.into_bytes();
+    group.bench_function("read_bits_mixed", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for i in 0..4096u64 {
+                acc ^= r.read_bits(((i % 63) + 1) as u32).expect("in range");
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_residual_coder(c: &mut Criterion) {
+    let values = jacobian_stream(65_536);
+    let residuals: Vec<u64> = values
+        .windows(2)
+        .map(|w| w[0].to_bits() ^ w[1].to_bits())
+        .collect();
+    let mut group = c.benchmark_group("residual");
+    group.throughput(Throughput::Bytes(8 * residuals.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut stats = CompressStats::new();
+            let mut w = BitWriter::with_capacity(residuals.len());
+            let mut st = ResidualState::new();
+            for &r in &residuals {
+                encode_residual(&mut w, &mut st, r, &mut stats);
+            }
+            w.into_bytes()
+        })
+    });
+    let mut stats = CompressStats::new();
+    let mut w = BitWriter::new();
+    let mut st = ResidualState::new();
+    for &r in &residuals {
+        encode_residual(&mut w, &mut st, r, &mut stats);
+    }
+    let bytes = w.into_bytes();
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut st = ResidualState::new();
+            let mut acc = 0u64;
+            for _ in 0..residuals.len() {
+                acc ^= decode_residual(&mut r, &mut st).expect("valid");
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_masc_matrix(c: &mut Criterion) {
+    // A banded pattern like a mid-size circuit.
+    let n = 2000usize;
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n {
+        for j in i.saturating_sub(2)..(i + 3).min(n) {
+            t.add(i, j, 1.0);
+        }
+    }
+    let pattern = t.to_csr().pattern().clone();
+    let maps = StampMaps::new(&pattern);
+    let nnz = pattern.nnz();
+    let cur = jacobian_stream(nnz);
+    let reference: Vec<f64> = cur.iter().map(|v| v * (1.0 + 1e-9)).collect();
+
+    let mut group = c.benchmark_group("masc_matrix");
+    group.throughput(Throughput::Bytes(8 * nnz as u64));
+    for (label, config) in [
+        ("bestfit", MascConfig::default().with_markov(false)),
+        ("markov", MascConfig::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("compress", label), &config, |b, cfg| {
+            b.iter(|| compress_matrix(&cur, &reference, &maps, cfg))
+        });
+        let (bytes, _) = compress_matrix(&cur, &reference, &maps, &config);
+        group.bench_with_input(BenchmarkId::new("decompress", label), &bytes, |b, bytes| {
+            b.iter(|| decompress_matrix(bytes, &reference, &maps).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let values = jacobian_stream(32_768);
+    let mut group = c.benchmark_group("baselines");
+    group.throughput(Throughput::Bytes(8 * values.len() as u64));
+    group.sample_size(20);
+    for compressor in all_baselines() {
+        group.bench_function(BenchmarkId::new("compress", compressor.name()), |b| {
+            b.iter(|| compressor.compress(&values))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitio,
+    bench_residual_coder,
+    bench_masc_matrix,
+    bench_baselines
+);
+criterion_main!(benches);

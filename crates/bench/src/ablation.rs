@@ -1,0 +1,128 @@
+//! Ablation study of MASC's design choices (extends the paper's
+//! w/-vs-w/o-Markov comparison in Table 3).
+//!
+//! Variants:
+//!
+//! - **full (best-fit)** — the reference "MASC w/o Markov";
+//! - **w/ Markov** — selection bits replaced by the Markov predictor;
+//! - **no sign inversion** — eq. 6's diagonal negation disabled;
+//! - **temporal only** — the ChimpLike coder (same residual-code family,
+//!   temporal predictor only, no stamp information), isolating how much
+//!   the spatial models buy;
+//! - **no shared windows** — measured indirectly: the shared-window count
+//!   is reported so its contribution is visible.
+
+use crate::render_table;
+use masc_baselines::{ChimpLike, Compressor};
+use masc_compress::{MascConfig, TensorCompressor};
+use masc_datasets::registry::table2_datasets;
+use masc_datasets::Dataset;
+
+/// One ablation variant's measurement on one dataset.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Variant label.
+    pub label: String,
+    /// Compression ratio vs `S_NZ`.
+    pub ratio: f64,
+    /// Shared-window usage rate among residuals (diagnostic).
+    pub shared_window_rate: f64,
+}
+
+fn masc_variant(dataset: &Dataset, label: &str, config: MascConfig) -> Variant {
+    let mut compressed = 0usize;
+    let mut shared = 0u64;
+    let mut total = 0u64;
+    for (pattern, series) in [
+        (&dataset.g_pattern, &dataset.g_series),
+        (&dataset.c_pattern, &dataset.c_series),
+    ] {
+        let mut tc = TensorCompressor::new(pattern.clone(), config.clone());
+        for m in series.iter() {
+            tc.push(m);
+        }
+        let tensor = tc.finish();
+        shared += tensor.stats().shared_windows;
+        total += tensor.stats().total_values();
+        compressed += tensor.compressed_bytes();
+    }
+    Variant {
+        label: label.to_string(),
+        ratio: dataset.s_nz_bytes() as f64 / compressed as f64,
+        shared_window_rate: shared as f64 / total.max(1) as f64,
+    }
+}
+
+/// Shared on-disk dataset cache for the experiment binaries.
+fn dataset_cache_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join("masc-dataset-cache")
+}
+
+/// Runs all variants on one dataset.
+pub fn variants_for(dataset: &Dataset) -> Vec<Variant> {
+    let mut out = vec![
+        masc_variant(
+            dataset,
+            "full (best-fit)",
+            MascConfig::default().with_markov(false),
+        ),
+        masc_variant(dataset, "w/ Markov", MascConfig::default()),
+        masc_variant(
+            dataset,
+            "no sign inversion",
+            MascConfig::default().with_markov(false).with_sign_invert(false),
+        ),
+    ];
+    let chimp = ChimpLike::new();
+    let packed = chimp.compress(&dataset.value_stream());
+    out.push(Variant {
+        label: "temporal only (Chimp)".to_string(),
+        ratio: dataset.s_nz_bytes() as f64 / packed.len() as f64,
+        shared_window_rate: 0.0,
+    });
+    out
+}
+
+/// Runs the ablation on a representative dataset at the given scale.
+pub fn run(scale: f64) -> (String, Vec<Variant>) {
+    let spec = &table2_datasets()[0]; // add20 analogue: mixed linear/nonlinear
+    let dataset = spec.generate_cached(scale, &dataset_cache_dir());
+    (dataset.name.clone(), variants_for(&dataset))
+}
+
+/// Renders the variants.
+pub fn render(dataset: &str, variants: &[Variant]) -> String {
+    let data: Vec<Vec<String>> = variants
+        .iter()
+        .map(|v| {
+            vec![
+                v.label.clone(),
+                format!("{:.2}", v.ratio),
+                format!("{:.1}%", v.shared_window_rate * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "dataset: {dataset}\n{}",
+        render_table(&["Variant", "CR", "SharedWin"], &data)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_beats_temporal_only() {
+        let (name, variants) = run(0.12);
+        assert_eq!(variants.len(), 4);
+        let full = variants[0].ratio;
+        let chimp = variants[3].ratio;
+        assert!(
+            full > chimp,
+            "{name}: full {full:.2} should beat temporal-only {chimp:.2}"
+        );
+        let text = render(&name, &variants);
+        assert!(text.contains("Markov"));
+    }
+}

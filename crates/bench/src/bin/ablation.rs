@@ -1,0 +1,10 @@
+//! Ablation of MASC design choices (sign inversion, Markov, spatial
+//! models). `--scale <f>` sizes the dataset (default 0.5).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = masc_bench::parse_scale(&args, 0.5);
+    eprintln!("running ablation at scale {scale} ...");
+    let (dataset, variants) = masc_bench::ablation::run(scale);
+    println!("{}", masc_bench::ablation::render(&dataset, &variants));
+}

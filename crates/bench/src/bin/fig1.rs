@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 1 (Jacobian storage cost vs circuit size).
+//! `--scale <f>` multiplies the size sweep (default 1.0).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = masc_bench::parse_scale(&args, 1.0);
+    let sizes: Vec<usize> = [10usize, 20, 40, 80, 160]
+        .iter()
+        .map(|&s| ((s as f64 * scale).round() as usize).max(2))
+        .collect();
+    eprintln!("running fig1 over sizes {sizes:?} ...");
+    let points = masc_bench::fig1::run(&sizes, 60);
+    println!("{}", masc_bench::fig1::render(&points));
+}

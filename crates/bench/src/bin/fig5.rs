@@ -1,0 +1,10 @@
+//! Regenerates paper Fig5 (see `masc_bench::fig5`). `--scale <f>` sizes
+//! the workloads (default 0.25; the paper's full sizes need a large server).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = masc_bench::parse_scale(&args, 0.25);
+    eprintln!("running fig5 at scale {scale} ...");
+    let rows = masc_bench::fig5::run(scale);
+    println!("{}", masc_bench::fig5::render(&rows));
+}

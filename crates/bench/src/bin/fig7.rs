@@ -1,0 +1,23 @@
+//! Regenerates paper Fig. 7 (end-to-end sensitivity time per Jacobian
+//! store). `--scale <f>` multiplies circuit size and step count.
+
+use masc_bench::fig7::{render, run, Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = masc_bench::parse_scale(&args, 1.0);
+    let default = Config::default();
+    let config = Config {
+        size: ((default.size as f64 * scale).round() as usize).max(4),
+        steps: ((default.steps as f64 * scale).round() as usize).max(20),
+        ..default
+    };
+    eprintln!(
+        "running fig7: {} stages, {} steps, disk throttled to {:.1} MB/s ...",
+        config.size,
+        config.steps,
+        config.disk_bandwidth / 1e6
+    );
+    let bars = run(&config);
+    println!("{}", render(&bars));
+}

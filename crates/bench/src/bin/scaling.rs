@@ -1,0 +1,12 @@
+//! Thread-scaling sweep of the parallel compressor (paper §6.4).
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, 8, 16];
+    counts.retain(|&c| c <= cores.max(2) * 2);
+    eprintln!("running thread scaling over {counts:?} ({cores} cores available) ...");
+    let points = masc_bench::scaling::run(&counts);
+    println!("{}", masc_bench::scaling::render(&points));
+}

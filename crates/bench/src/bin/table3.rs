@@ -1,0 +1,10 @@
+//! Regenerates paper Table3 (see `masc_bench::table3`). `--scale <f>` sizes
+//! the workloads (default 0.25; the paper's full sizes need a large server).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = masc_bench::parse_scale(&args, 0.25);
+    eprintln!("running table3 at scale {scale} ...");
+    let rows = masc_bench::table3::run(scale);
+    println!("{}", masc_bench::table3::render(&rows));
+}

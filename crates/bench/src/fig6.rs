@@ -1,0 +1,102 @@
+//! Paper Fig. 6: selection rates of the three prediction models
+//! (temporal, matrix-stamp spatial, last-value) per dataset.
+
+use crate::render_table;
+use masc_compress::{CompressStats, MascConfig, ModelClass, TensorCompressor};
+use masc_datasets::registry::table2_datasets;
+use masc_datasets::Dataset;
+
+/// Selection rates for one dataset.
+#[derive(Debug, Clone)]
+pub struct Rates {
+    /// Dataset name.
+    pub name: String,
+    /// Temporal-model selection rate.
+    pub temporal: f64,
+    /// Stamp-based spatial model selection rate.
+    pub stamp: f64,
+    /// Last-value model selection rate.
+    pub last_value: f64,
+}
+
+/// Computes best-fit selection rates for one dataset.
+pub fn rates_for(dataset: &Dataset) -> Rates {
+    let config = MascConfig::default().with_markov(false);
+    let mut stats = CompressStats::new();
+    for (pattern, series) in [
+        (&dataset.g_pattern, &dataset.g_series),
+        (&dataset.c_pattern, &dataset.c_series),
+    ] {
+        let mut tc = TensorCompressor::new(pattern.clone(), config.clone());
+        for m in series.iter() {
+            tc.push(m);
+        }
+        stats.merge(tc.finish().stats());
+    }
+    Rates {
+        name: dataset.name.clone(),
+        temporal: stats.selection_rate(ModelClass::Temporal),
+        stamp: stats.selection_rate(ModelClass::Stamp),
+        last_value: stats.selection_rate(ModelClass::LastValue),
+    }
+}
+
+/// Shared on-disk dataset cache for the experiment binaries.
+fn dataset_cache_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join("masc-dataset-cache")
+}
+
+/// Runs Fig. 6 at the given scale.
+pub fn run(scale: f64) -> Vec<Rates> {
+    table2_datasets()
+        .iter()
+        .map(|spec| rates_for(&spec.generate_cached(scale, &dataset_cache_dir())))
+        .collect()
+}
+
+/// Renders the rates.
+pub fn render(rates: &[Rates]) -> String {
+    let data: Vec<Vec<String>> = rates
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.1}%", r.temporal * 100.0),
+                format!("{:.1}%", r.stamp * 100.0),
+                format!("{:.1}%", r.last_value * 100.0),
+            ]
+        })
+        .collect();
+    render_table(&["Dataset", "Temporal", "MatrixStamp", "LastValue"], &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_sum_to_one_and_temporal_dominates_smooth_data() {
+        let spec = &table2_datasets()[0];
+        let dataset = spec.generate(0.12).unwrap();
+        let r = rates_for(&dataset);
+        let total = r.temporal + r.stamp + r.last_value;
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        // Temporally smooth Jacobians: the temporal model leads
+        // (paper: ">60% in certain datasets").
+        assert!(
+            r.temporal > r.last_value,
+            "temporal {} vs last_value {}",
+            r.temporal,
+            r.last_value
+        );
+    }
+
+    #[test]
+    fn render_all() {
+        let spec = &table2_datasets()[1];
+        let r = rates_for(&spec.generate(0.08).unwrap());
+        let text = render(&[r]);
+        assert!(text.contains("smult20"));
+        assert!(text.contains("MatrixStamp"));
+    }
+}

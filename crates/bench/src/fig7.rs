@@ -1,0 +1,161 @@
+//! Paper Fig. 7: end-to-end sensitivity-analysis time — MASC vs the
+//! Xyce-like recompute baseline vs raw disk storage.
+//!
+//! Runs the same circuit + objectives + parameters through three Jacobian
+//! stores and reports the reverse-pass times. Expected shape (paper §6.4):
+//! MASC ≈ half the recompute baseline's sensitivity time, and several times
+//! faster than bandwidth-limited disk I/O.
+
+use crate::render_table;
+use masc_adjoint::{run_adjoint, run_xyce_like, Objective, StoreConfig};
+use masc_compress::MascConfig;
+use masc_datasets::registry::{DatasetSpec, Family};
+
+/// One store's end-to-end measurement.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Store label.
+    pub label: String,
+    /// Forward transient + store time (s).
+    pub forward_s: f64,
+    /// Reverse (sensitivity) time (s).
+    pub reverse_s: f64,
+    /// End-to-end total (s).
+    pub total_s: f64,
+    /// Peak Jacobian storage (bytes).
+    pub peak_bytes: usize,
+}
+
+/// Fig. 7 configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Circuit size (BJT amplifier stages).
+    pub size: usize,
+    /// Transient steps.
+    pub steps: usize,
+    /// Simulated disk bandwidth (bytes/s) for the disk store.
+    pub disk_bandwidth: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            size: 60,
+            steps: 300,
+            disk_bandwidth: 0.5e9 / 256.0, // paper's 0.5 GB/s scaled to our
+                                           // ~256× smaller tensors
+        }
+    }
+}
+
+/// Runs the three-store comparison.
+pub fn run(config: &Config) -> Vec<Bar> {
+    // BJT chain: the heaviest device models (two limited exponentials,
+    // diffusion charges), matching the paper's BJT-dominated Fig. 7 setup
+    // where Jacobian recomputation is the majority of sensitivity time.
+    let spec = DatasetSpec {
+        name: "fig7",
+        family: Family::BjtChain,
+        size: config.size,
+        steps: config.steps,
+    };
+    let stores = [
+        ("Xyce-like (per-obj recompute)", StoreConfig::Recompute),
+        (
+            "Disk (raw, throttled)",
+            StoreConfig::Disk {
+                dir: std::env::temp_dir().join("masc-fig7"),
+                bandwidth: Some(config.disk_bandwidth),
+            },
+        ),
+        ("MASC (compressed)", StoreConfig::Compressed(MascConfig::default())),
+        ("Raw memory (upper bound)", StoreConfig::RawMemory),
+    ];
+    let mut bars = Vec::new();
+    for (label, store) in stores {
+        let (mut circuit, tran) = spec.build_circuit(1.0);
+        circuit.set_model_effort(crate::table1::MODEL_EFFORT);
+        let n = {
+            let sys = circuit.elaborate().expect("elaborates");
+            sys.n
+        };
+        let n_obj = n.min(8).max(1);
+        let objectives: Vec<Objective> = (0..n_obj)
+            .map(|i| Objective::Integral {
+                unknown: i * n / n_obj,
+            })
+            .collect();
+        let params = circuit.params();
+        // The recompute baseline uses the Xyce-like per-objective
+        // schedule; the storage-backed stores batch all objectives into
+        // one sweep (what Jacobian reuse buys).
+        let run = if matches!(store, StoreConfig::Recompute) {
+            run_xyce_like(&mut circuit, &tran, &objectives, &params)
+        } else {
+            run_adjoint(&mut circuit, &tran, &store, &objectives, &params)
+        }
+        .expect("all stores succeed");
+        let forward_s = run.tran_stats.total_time.as_secs_f64();
+        let reverse_s = run.sensitivities.stats.total_time.as_secs_f64();
+        bars.push(Bar {
+            label: label.to_string(),
+            forward_s,
+            reverse_s,
+            total_s: forward_s + reverse_s,
+            peak_bytes: run.peak_storage_bytes,
+        });
+    }
+    bars
+}
+
+/// Renders the bars, normalized to the recompute baseline.
+pub fn render(bars: &[Bar]) -> String {
+    let baseline = bars
+        .first()
+        .map(|b| b.total_s)
+        .unwrap_or(1.0)
+        .max(1e-12);
+    let data: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.label.clone(),
+                format!("{:.3}", b.forward_s),
+                format!("{:.3}", b.reverse_s),
+                format!("{:.3}", b.total_s),
+                format!("{:.2}x", baseline / b.total_s),
+                format!("{:.2}", b.peak_bytes as f64 / 1e6),
+            ]
+        })
+        .collect();
+    render_table(
+        &["Store", "Fwd(s)", "Rev(s)", "Total(s)", "Speedup", "Peak(MB)"],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let config = Config {
+            size: 20,
+            steps: 80,
+            disk_bandwidth: 2e6,
+        };
+        let bars = run(&config);
+        assert_eq!(bars.len(), 4);
+        let disk = bars[1].reverse_s;
+        let masc = bars[2].reverse_s;
+        // Throttled disk pays an I/O wall MASC does not. (The MASC-vs-
+        // recompute speedup is a release-mode measurement — see the fig7
+        // binary and EXPERIMENTS.md; debug-mode timings are misleading.)
+        assert!(masc < disk, "masc {masc} vs disk {disk}");
+        // Compressed storage is far below raw.
+        assert!(bars[2].peak_bytes * 2 < bars[3].peak_bytes);
+        let text = render(&bars);
+        assert!(text.contains("MASC"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Thread-scaling of the parallel compressor (paper §6.4: throughput
+//! "peaking at around 16 threads", ~8× serial).
+//!
+//! On a single-core CI box the measured speedups are flat; the harness
+//! still verifies correctness and reports per-thread throughput so the
+//! numbers become meaningful on real multicore hardware.
+
+use crate::render_table;
+use masc_compress::{compress_matrix_parallel, decompress_matrix_parallel, MascConfig, StampMaps};
+use masc_datasets::registry::{DatasetSpec, Family};
+use std::time::Instant;
+
+/// One thread-count measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Worker threads.
+    pub threads: usize,
+    /// Compression throughput (MB/s of input).
+    pub comp_mbps: f64,
+    /// Decompression throughput (MB/s of output).
+    pub decomp_mbps: f64,
+}
+
+/// Runs the sweep over the given thread counts.
+pub fn run(thread_counts: &[usize]) -> Vec<Point> {
+    let spec = DatasetSpec {
+        name: "scaling",
+        family: Family::MosChain,
+        size: 120,
+        steps: 12,
+    };
+    let dataset = spec.generate(1.0).expect("spec generates");
+    let maps = StampMaps::new(&dataset.g_pattern);
+    let mb = (dataset.g_series.len() * dataset.g_pattern.nnz() * 8) as f64 / 1e6;
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        let config = MascConfig {
+            threads,
+            chunk_size: 1 << 12,
+            ..MascConfig::default()
+        };
+        let start = Instant::now();
+        let mut blocks = Vec::new();
+        for pair in dataset.g_series.windows(2) {
+            let (bytes, _) = compress_matrix_parallel(&pair[0], &pair[1], &maps, &config);
+            blocks.push(bytes);
+        }
+        let comp_s = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for (i, bytes) in blocks.iter().enumerate() {
+            let values =
+                decompress_matrix_parallel(bytes, &dataset.g_series[i + 1], &maps, &config)
+                    .expect("round trip");
+            debug_assert_eq!(&values, &dataset.g_series[i]);
+        }
+        let decomp_s = start.elapsed().as_secs_f64();
+        out.push(Point {
+            threads,
+            comp_mbps: mb / comp_s.max(1e-9),
+            decomp_mbps: mb / decomp_s.max(1e-9),
+        });
+    }
+    out
+}
+
+/// Renders the sweep.
+pub fn render(points: &[Point]) -> String {
+    let base = points.first().map(|p| p.comp_mbps).unwrap_or(1.0);
+    let data: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                format!("{:.1}", p.comp_mbps),
+                format!("{:.1}", p.decomp_mbps),
+                format!("{:.2}x", p.comp_mbps / base.max(1e-9)),
+            ]
+        })
+        .collect();
+    render_table(&["Threads", "Comp MB/s", "Decomp MB/s", "Speedup"], &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_round_trips() {
+        let points = run(&[1, 2]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.comp_mbps > 0.0);
+            assert!(p.decomp_mbps > 0.0);
+        }
+        let text = render(&points);
+        assert!(text.contains("Threads"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Paper Table 2: dataset inventory — element counts, step counts, raw
+//! CSR/non-zero sizes, and the general-purpose (GZIP-style) compressor's
+//! ratio and time on each dataset.
+
+use crate::render_table;
+use masc_baselines::{Compressor, GzipLike};
+use masc_datasets::registry::table2_datasets;
+use masc_datasets::Dataset;
+use std::time::Instant;
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Dataset name.
+    pub name: String,
+    /// Circuit element count (`#CirElem`).
+    pub elements: usize,
+    /// Time points (`#Steps`).
+    pub steps: usize,
+    /// Full CSR bytes (`S_CSR`).
+    pub s_csr: usize,
+    /// Non-zero value bytes (`S_NZ`).
+    pub s_nz: usize,
+    /// GZIP-style compression ratio on the value stream.
+    pub gzip_cr: f64,
+    /// GZIP-style compression time (s).
+    pub gzip_time_s: f64,
+}
+
+/// Builds a row from an already-generated dataset.
+pub fn row_for(dataset: &Dataset) -> Row {
+    let stream = dataset.value_stream();
+    let gzip = GzipLike::new();
+    let start = Instant::now();
+    let packed = gzip.compress(&stream);
+    let gzip_time_s = start.elapsed().as_secs_f64();
+    Row {
+        name: dataset.name.clone(),
+        elements: dataset.elements,
+        steps: dataset.steps(),
+        s_csr: dataset.s_csr_bytes(),
+        s_nz: dataset.s_nz_bytes(),
+        gzip_cr: dataset.s_nz_bytes() as f64 / packed.len() as f64,
+        gzip_time_s,
+    }
+}
+
+/// Shared on-disk dataset cache for the experiment binaries.
+fn dataset_cache_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join("masc-dataset-cache")
+}
+
+/// Runs the Table 2 experiment at the given scale.
+pub fn run(scale: f64) -> Vec<Row> {
+    table2_datasets()
+        .iter()
+        .map(|spec| {
+            let dataset = spec.generate_cached(scale, &dataset_cache_dir());
+            row_for(&dataset)
+        })
+        .collect()
+}
+
+/// Renders the rows in the paper's column layout.
+pub fn render(rows: &[Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.elements.to_string(),
+                r.steps.to_string(),
+                format!("{:.2}", r.s_csr as f64 / 1e6),
+                format!("{:.2}", r.s_nz as f64 / 1e6),
+                format!("{:.2}", r.gzip_cr),
+                format!("{:.2}s", r.gzip_time_s),
+            ]
+        })
+        .collect();
+    render_table(
+        &["Dataset", "#CirElem", "#Steps", "S_CSR(MB)", "S_NZ(MB)", "CR(gzip)", "T_comp(gzip)"],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_rows_at_tiny_scale() {
+        let rows = run(0.08);
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.s_csr > r.s_nz, "{}", r.name);
+            assert!(r.gzip_cr > 1.0, "{}: gzip CR {}", r.name, r.gzip_cr);
+        }
+        let text = render(&rows);
+        assert!(text.contains("mem_plus"));
+    }
+}

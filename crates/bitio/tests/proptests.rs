@@ -1,0 +1,104 @@
+//! Property-based tests for bit I/O and varint coding.
+
+use masc_bitio::{varint, BitReader, BitWriter};
+use proptest::prelude::*;
+
+/// An arbitrary (value, width) pair with the value masked to the width.
+fn bits_strategy() -> impl Strategy<Value = (u64, u32)> {
+    (any::<u64>(), 1u32..=64).prop_map(|(v, n)| {
+        let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+        (masked, n)
+    })
+}
+
+proptest! {
+    #[test]
+    fn bit_sequences_round_trip(items in proptest::collection::vec(bits_strategy(), 0..200)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &items {
+            w.write_bits(v, n);
+        }
+        let expected_bits: usize = items.iter().map(|&(_, n)| n as usize).sum();
+        prop_assert_eq!(w.bit_len(), expected_bits);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &items {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn interleaved_bits_and_words(bools in proptest::collection::vec(any::<bool>(), 0..64),
+                                  words in proptest::collection::vec(any::<u64>(), 0..16)) {
+        let mut w = BitWriter::new();
+        for (i, &b) in bools.iter().enumerate() {
+            w.write_bit(b);
+            if i < words.len() {
+                w.write_u64(words[i]);
+            }
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (i, &b) in bools.iter().enumerate() {
+            prop_assert_eq!(r.read_bit().unwrap(), b);
+            if i < words.len() {
+                prop_assert_eq!(r.read_u64().unwrap(), words[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn append_equals_inline(first in proptest::collection::vec(bits_strategy(), 0..50),
+                            second in proptest::collection::vec(bits_strategy(), 0..50)) {
+        let mut inline = BitWriter::new();
+        for &(v, n) in first.iter().chain(&second) {
+            inline.write_bits(v, n);
+        }
+        let mut a = BitWriter::new();
+        for &(v, n) in &first {
+            a.write_bits(v, n);
+        }
+        let mut b = BitWriter::new();
+        for &(v, n) in &second {
+            b.write_bits(v, n);
+        }
+        let mut stitched = BitWriter::new();
+        stitched.append(&a);
+        stitched.append(&b);
+        prop_assert_eq!(stitched.into_bytes(), inline.into_bytes());
+    }
+
+    #[test]
+    fn varint_round_trip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let (decoded, used) = varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn zigzag_round_trip(v in any::<i64>()) {
+        prop_assert_eq!(varint::zigzag_decode(varint::zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn deltas_round_trip(values in proptest::collection::vec(0usize..1_000_000_000, 0..300)) {
+        let buf = varint::encode_deltas(&values);
+        prop_assert_eq!(varint::decode_deltas(&buf).unwrap(), values);
+    }
+
+    #[test]
+    fn sorted_deltas_are_compact(gaps in proptest::collection::vec(0usize..64, 1..300)) {
+        let mut values = Vec::with_capacity(gaps.len());
+        let mut acc = 0usize;
+        for g in gaps {
+            acc += g;
+            values.push(acc);
+        }
+        let buf = varint::encode_deltas(&values);
+        // ZigZag doubles the gap, so gaps < 64 always fit one LEB128 byte;
+        // the length header is ≤ 5 bytes here.
+        prop_assert!(buf.len() <= values.len() + 5);
+    }
+}

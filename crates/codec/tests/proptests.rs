@@ -1,0 +1,96 @@
+//! Property-based round-trip tests for every coder in `masc-codec`.
+
+use masc_codec::{huffman, lzss, range, rans, rle, transform};
+use proptest::prelude::*;
+
+/// Byte vectors biased toward compressible content (runs + text + noise).
+fn data_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..2000),
+        proptest::collection::vec(0u8..4, 0..2000),
+        (0u8..=255, 0usize..3000).prop_map(|(b, n)| vec![b; n]),
+        proptest::collection::vec(any::<f64>(), 0..256)
+            .prop_map(|fs| fs.iter().flat_map(|f| f.to_le_bytes()).collect()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn huffman_round_trip(data in data_strategy()) {
+        let packed = huffman::encode(&data);
+        prop_assert_eq!(huffman::decode(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn rans_round_trip(data in data_strategy()) {
+        let packed = rans::encode(&data);
+        prop_assert_eq!(rans::decode(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_round_trip(data in data_strategy()) {
+        let tokens = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn range_coder_round_trip(bits in proptest::collection::vec(any::<bool>(), 0..4000)) {
+        let mut model = range::BitModel::new();
+        let mut enc = range::RangeEncoder::new();
+        for &b in &bits {
+            enc.encode_bit(&mut model, b);
+        }
+        let bytes = enc.finish();
+        let mut model = range::BitModel::new();
+        let mut dec = range::RangeDecoder::new(&bytes).unwrap();
+        for &b in &bits {
+            prop_assert_eq!(dec.decode_bit(&mut model).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn range_tree_round_trip(values in proptest::collection::vec(0u32..256, 0..1000)) {
+        let mut models = vec![range::BitModel::new(); 255];
+        let mut enc = range::RangeEncoder::new();
+        for &v in &values {
+            enc.encode_bits_tree(&mut models, 8, v);
+        }
+        let bytes = enc.finish();
+        let mut models = vec![range::BitModel::new(); 255];
+        let mut dec = range::RangeDecoder::new(&bytes).unwrap();
+        for &v in &values {
+            prop_assert_eq!(dec.decode_bits_tree(&mut models, 8).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rle_round_trip(words in proptest::collection::vec(
+        prop_oneof![Just(0u64), any::<u64>()], 0..2000)) {
+        let packed = rle::encode_words(&words);
+        prop_assert_eq!(rle::decode_words(&packed).unwrap(), words);
+    }
+
+    #[test]
+    fn xor_transform_round_trip(words in proptest::collection::vec(any::<u64>(), 0..500)) {
+        let mut w = words.clone();
+        transform::xor_previous(&mut w);
+        transform::undo_xor_previous(&mut w);
+        prop_assert_eq!(w, words);
+    }
+
+    #[test]
+    fn delta_transform_round_trip(words in proptest::collection::vec(any::<u64>(), 0..500)) {
+        let mut w = words.clone();
+        transform::delta_previous(&mut w);
+        transform::undo_delta_previous(&mut w);
+        prop_assert_eq!(w, words);
+    }
+
+    #[test]
+    fn transpose_involution(words in proptest::collection::vec(any::<u64>(), 64)) {
+        let mut w = words.clone();
+        transform::transpose_bits(&mut w);
+        transform::transpose_bits(&mut w);
+        prop_assert_eq!(w, words);
+    }
+}

@@ -1,0 +1,92 @@
+//! Compressor configuration.
+
+/// Knobs of the MASC compressor.
+///
+/// The defaults match the paper's "MASC w/ Markov" configuration; use
+/// [`MascConfig::with_markov`]`(false)` for the higher-ratio, slower
+/// "MASC w/o Markov" variant of paper Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MascConfig {
+    /// Predict model selections with the per-matrix Markov model instead
+    /// of writing 1–2 selection bits per value.
+    pub markov: bool,
+    /// Fraction of each region encoded best-fit to train the Markov table.
+    pub markov_warmup_frac: f64,
+    /// Minimum warm-up length per region (small matrices train poorly on
+    /// pure fractions).
+    pub markov_min_warmup: usize,
+    /// Negate diagonal values when used as spatial predictors for
+    /// off-diagonal elements (the paper's sign-bit inversion; eq. 6).
+    pub sign_invert_diag: bool,
+    /// Embed a 64-bit integrity checksum per matrix.
+    pub checksum: bool,
+    /// Values per chunk for parallel (de)compression; chunks are encoded
+    /// independently so they can be processed concurrently.
+    pub chunk_size: usize,
+    /// Worker threads for the parallel paths (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for MascConfig {
+    fn default() -> Self {
+        Self {
+            markov: true,
+            markov_warmup_frac: 0.125,
+            markov_min_warmup: 256,
+            sign_invert_diag: true,
+            checksum: true,
+            chunk_size: 1 << 16,
+            threads: 1,
+        }
+    }
+}
+
+impl MascConfig {
+    /// Default configuration ("MASC w/ Markov").
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Toggles Markov selection prediction.
+    pub fn with_markov(mut self, markov: bool) -> Self {
+        self.markov = markov;
+        self
+    }
+
+    /// Toggles diagonal sign inversion (ablation knob).
+    pub fn with_sign_invert(mut self, on: bool) -> Self {
+        self.sign_invert_diag = on;
+        self
+    }
+
+    /// Sets the worker-thread count for parallel paths.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_markov_variant() {
+        let c = MascConfig::default();
+        assert!(c.markov);
+        assert!(c.sign_invert_diag);
+        assert!(c.checksum);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MascConfig::new()
+            .with_markov(false)
+            .with_sign_invert(false)
+            .with_threads(0);
+        assert!(!c.markov);
+        assert!(!c.sign_invert_diag);
+        assert_eq!(c.threads, 1); // clamped
+    }
+}

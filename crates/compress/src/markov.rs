@@ -1,0 +1,161 @@
+//! First-order Markov predictor over prediction-model selections
+//! (paper §4.2, Fig. 4).
+//!
+//! Best-fit selection needs 1–2 bits per value *and* the argmin work. The
+//! Markov predictor removes both: a per-region transition table
+//! `P(next selection | previous selection)` is estimated by frequency
+//! counting during a best-fit warm-up prefix, after which selections are
+//! predicted outright and **no selection bits are written**.
+//!
+//! The table is *per matrix* (reset at each matrix, trained on that
+//! matrix's own warm-up prefix). This keeps every compressed matrix
+//! independently decodable, which the MASC pipeline requires: matrices are
+//! compressed in forward time order but decompressed in reverse during the
+//! adjoint pass, so any cross-matrix predictor state would force a full
+//! forward replay before the backward sweep could start.
+
+use crate::predictor::Region;
+
+/// Number of selection codes (max over regions).
+const CODES: usize = 4;
+
+/// A per-region, order-1 Markov model over selection codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkovModel {
+    /// `counts[region][prev][next]`.
+    counts: [[[u32; CODES]; CODES]; 3],
+    /// Last selection seen per region (state of the chain).
+    prev: [u32; 3],
+}
+
+impl Default for MarkovModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MarkovModel {
+    /// Fresh model: uniform counts, chains at code 0 (temporal).
+    pub fn new() -> Self {
+        Self {
+            counts: [[[0; CODES]; CODES]; 3],
+            prev: [0; 3],
+        }
+    }
+
+    /// Records an observed best-fit selection (warm-up phase) and advances
+    /// the chain.
+    pub fn observe(&mut self, region: Region, code: u32) {
+        let r = region.index();
+        let p = self.prev[r] as usize;
+        self.counts[r][p][code as usize] += 1;
+        self.prev[r] = code;
+    }
+
+    /// Predicts the next selection for a region (Markov phase) and
+    /// advances the chain with its own prediction.
+    ///
+    /// Deterministic (argmax with lowest-code tie-breaking), so encoder and
+    /// decoder stay synchronized without any side information.
+    pub fn predict(&mut self, region: Region) -> u32 {
+        let r = region.index();
+        let p = self.prev[r] as usize;
+        let row = &self.counts[r][p];
+        let mut best = 0usize;
+        for c in 1..region.candidate_count() {
+            if row[c] > row[best] {
+                best = c;
+            }
+        }
+        self.prev[r] = best as u32;
+        best as u32
+    }
+
+    /// The most probable next code without advancing the chain.
+    pub fn peek(&self, region: Region) -> u32 {
+        let r = region.index();
+        let row = &self.counts[r][self.prev[r] as usize];
+        let mut best = 0usize;
+        for c in 1..region.candidate_count() {
+            if row[c] > row[best] {
+                best = c;
+            }
+        }
+        best as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_model_predicts_temporal() {
+        let mut m = MarkovModel::new();
+        assert_eq!(m.predict(Region::Upper), 0);
+        assert_eq!(m.predict(Region::Lower), 0);
+        assert_eq!(m.predict(Region::Diag), 0);
+    }
+
+    #[test]
+    fn learns_a_constant_stream() {
+        let mut m = MarkovModel::new();
+        for _ in 0..10 {
+            m.observe(Region::Upper, 2);
+        }
+        assert_eq!(m.predict(Region::Upper), 2);
+        // Chain advanced with its own prediction → still 2.
+        assert_eq!(m.predict(Region::Upper), 2);
+    }
+
+    #[test]
+    fn learns_an_alternating_stream() {
+        let mut m = MarkovModel::new();
+        // 1, 3, 1, 3, … — transition 1→3 and 3→1.
+        for _ in 0..20 {
+            m.observe(Region::Lower, 1);
+            m.observe(Region::Lower, 3);
+        }
+        // Chain currently at 3 → predicts 1, then 3, then 1 …
+        assert_eq!(m.predict(Region::Lower), 1);
+        assert_eq!(m.predict(Region::Lower), 3);
+        assert_eq!(m.predict(Region::Lower), 1);
+    }
+
+    #[test]
+    fn regions_are_independent() {
+        let mut m = MarkovModel::new();
+        for _ in 0..5 {
+            m.observe(Region::Upper, 3);
+            m.observe(Region::Diag, 1);
+        }
+        assert_eq!(m.peek(Region::Upper), 3);
+        assert_eq!(m.peek(Region::Diag), 1);
+        assert_eq!(m.peek(Region::Lower), 0);
+    }
+
+    #[test]
+    fn diag_prediction_respects_candidate_count() {
+        let mut m = MarkovModel::new();
+        // Corrupt-ish training: force counts on code 3 for Diag's row by
+        // observing through Upper (shared chain layout is per-region, so
+        // this cannot leak) — Diag must still only predict 0 or 1.
+        for _ in 0..5 {
+            m.observe(Region::Diag, 1);
+        }
+        let p = m.predict(Region::Diag);
+        assert!(p < 2);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut m = MarkovModel::new();
+        m.observe(Region::Upper, 2); // chain at 2; counts[0→2] = 1
+        m.observe(Region::Upper, 1); // counts[2→1] = 1; chain at 1
+        m.observe(Region::Upper, 2); // counts[1→2] = 1; chain at 2
+        let first = m.peek(Region::Upper);
+        let second = m.peek(Region::Upper);
+        assert_eq!(first, second);
+        assert_eq!(m.predict(Region::Upper), first);
+    }
+}

@@ -1,0 +1,384 @@
+//! Parallel (chunked) matrix compression.
+//!
+//! The paper's compressor has an OpenMP-parallel version whose throughput
+//! (~2.3 GB/s) comfortably exceeds SSD bandwidth — the key to Fig. 7's 6×
+//! win over the disk baseline. This module reproduces the design: the
+//! non-zero stream is split into fixed chunks, each encoded independently
+//! (own residual window, own Markov warm-up, in-matrix predictions confined
+//! to the chunk), so both compression and decompression parallelize.
+//!
+//! Chunked stream layout:
+//!
+//! ```text
+//! [common header with FLAG_CHUNKED]
+//! [varint chunk_size] [varint n_chunks] [varint byte_len × n_chunks]
+//! [chunk payloads, byte-aligned]
+//! ```
+
+use crate::config::MascConfig;
+use crate::matrix::{
+    checksum, decode_range, encode_range, parse_header, write_header, HeaderParams, FLAG_CHUNKED,
+};
+use crate::predictor::StampMaps;
+use crate::stats::CompressStats;
+use crate::CompressError;
+use masc_bitio::{varint, BitReader, BitWriter};
+
+/// Splits `0..nnz` into `chunk_size` ranges.
+fn chunk_ranges(nnz: usize, chunk_size: usize) -> Vec<core::ops::Range<usize>> {
+    let chunk = chunk_size.max(1);
+    (0..nnz.div_ceil(chunk))
+        .map(|i| i * chunk..((i + 1) * chunk).min(nnz))
+        .collect()
+}
+
+/// Compresses a matrix with chunk-level parallelism.
+///
+/// Produces a *chunked* stream (decodable only by
+/// [`decompress_matrix_parallel`]); the output is byte-identical for any
+/// thread count, so compression results are reproducible.
+///
+/// # Panics
+///
+/// Panics if `values.len()` or `reference.len()` differ from the pattern
+/// nnz.
+pub fn compress_matrix_parallel(
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> (Vec<u8>, CompressStats) {
+    let nnz = maps.order().len();
+    assert_eq!(values.len(), nnz, "value count != pattern nnz");
+    assert_eq!(reference.len(), nnz, "reference count != pattern nnz");
+    let ranges = chunk_ranges(nnz, config.chunk_size);
+    let params = HeaderParams::from_config(config);
+    let threads = config.threads.max(1).min(ranges.len().max(1));
+
+    // Encode chunks (possibly) in parallel; order restored by index.
+    let mut encoded: Vec<(Vec<u8>, CompressStats)> = Vec::with_capacity(ranges.len());
+    if threads <= 1 || ranges.len() <= 1 {
+        for range in &ranges {
+            encoded.push(encode_chunk(values, reference, maps, &params, range.clone()));
+        }
+    } else {
+        let mut slots: Vec<Option<(Vec<u8>, CompressStats)>> = vec![None; ranges.len()];
+        crossbeam::thread::scope(|scope| {
+            for (tid, slot_chunk) in slots.chunks_mut(ranges.len().div_ceil(threads)).enumerate() {
+                let ranges = &ranges;
+                let base = tid * ranges.len().div_ceil(threads);
+                scope.spawn(move |_| {
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        let range = ranges[base + off].clone();
+                        *slot = Some(encode_chunk(values, reference, maps, &params, range));
+                    }
+                });
+            }
+        })
+        .expect("compression worker panicked");
+        encoded.extend(slots.into_iter().map(|s| s.expect("all chunks encoded")));
+    }
+
+    let mut stats = CompressStats::new();
+    stats.input_bytes = (nnz * 8) as u64;
+    let mut out = write_header(values, config, FLAG_CHUNKED);
+    varint::write_u64(&mut out, config.chunk_size as u64);
+    varint::write_u64(&mut out, encoded.len() as u64);
+    for (bytes, _) in &encoded {
+        varint::write_u64(&mut out, bytes.len() as u64);
+    }
+    for (bytes, chunk_stats) in &encoded {
+        out.extend_from_slice(bytes);
+        stats.merge(chunk_stats);
+    }
+    stats.input_bytes = (nnz * 8) as u64; // merge() double-adds; reset
+    stats.output_bytes = out.len() as u64;
+    (out, stats)
+}
+
+fn encode_chunk(
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    params: &HeaderParams,
+    range: core::ops::Range<usize>,
+) -> (Vec<u8>, CompressStats) {
+    let mut stats = CompressStats::new();
+    let chunk_start = range.start;
+    let mut w = BitWriter::with_capacity(range.len() / 2 + 16);
+    encode_range(
+        &mut w, values, reference, maps, params, range, chunk_start, &mut stats,
+    );
+    (w.into_bytes(), stats)
+}
+
+/// Decompresses a stream produced by [`compress_matrix_parallel`].
+///
+/// # Errors
+///
+/// Returns [`CompressError`] on truncation, header inconsistency, or
+/// checksum mismatch.
+pub fn decompress_matrix_parallel(
+    bytes: &[u8],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> Result<Vec<f64>, CompressError> {
+    let nnz = maps.order().len();
+    if reference.len() != nnz {
+        return Err(CompressError::Corrupt("reference length != pattern nnz"));
+    }
+    let header = parse_header(bytes, nnz)?;
+    if !header.chunked {
+        return Err(CompressError::Corrupt(
+            "serial stream passed to the chunked decoder",
+        ));
+    }
+    let mut pos = header.payload_offset;
+    let (chunk_size, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
+    pos += used;
+    let (n_chunks, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
+    pos += used;
+    let ranges = chunk_ranges(nnz, chunk_size as usize);
+    if ranges.len() != n_chunks as usize {
+        return Err(CompressError::Corrupt("chunk count mismatch"));
+    }
+    let mut lens = Vec::with_capacity(ranges.len());
+    for _ in 0..n_chunks {
+        let (len, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
+        pos += used;
+        lens.push(len as usize);
+    }
+    let mut offsets = Vec::with_capacity(ranges.len());
+    for &len in &lens {
+        offsets.push(pos);
+        pos += len;
+    }
+    if pos > bytes.len() {
+        return Err(CompressError::Truncated);
+    }
+
+    let threads = config.threads.max(1).min(ranges.len().max(1));
+    let mut out = vec![0.0f64; nnz];
+    if threads <= 1 || ranges.len() <= 1 {
+        for (i, range) in ranges.iter().enumerate() {
+            let payload = &bytes[offsets[i]..offsets[i] + lens[i]];
+            decode_chunk_into(&mut out, payload, reference, maps, &header.params, range.clone())?;
+        }
+    } else {
+        // Workers decode into compact per-chunk buffers; scatter after.
+        let per = ranges.len().div_ceil(threads);
+        let results = crossbeam::thread::scope(
+            |scope| -> Vec<Result<Vec<(usize, Vec<f64>)>, CompressError>> {
+                let mut handles = Vec::new();
+                for tid in 0..threads {
+                    let ranges = &ranges;
+                    let lens = &lens;
+                    let offsets = &offsets;
+                    let params = &header.params;
+                    handles.push(scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        let mut scratch = vec![0.0f64; nnz];
+                        for i in (tid * per)..((tid + 1) * per).min(ranges.len()) {
+                            let payload = &bytes[offsets[i]..offsets[i] + lens[i]];
+                            decode_chunk_into(
+                                &mut scratch,
+                                payload,
+                                reference,
+                                maps,
+                                params,
+                                ranges[i].clone(),
+                            )?;
+                            let compact: Vec<f64> = ranges[i]
+                                .clone()
+                                .map(|p| scratch[maps.order()[p]])
+                                .collect();
+                            local.push((i, compact));
+                        }
+                        Ok(local)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            },
+        )
+        .expect("decompression scope failed");
+        for result in results {
+            for (i, compact) in result? {
+                for (p, v) in ranges[i].clone().zip(compact) {
+                    out[maps.order()[p]] = v;
+                }
+            }
+        }
+    }
+
+    if let Some(expected) = header.expected_checksum {
+        if checksum(&out) != expected {
+            return Err(CompressError::ChecksumMismatch);
+        }
+    }
+    Ok(out)
+}
+
+fn decode_chunk_into(
+    out: &mut [f64],
+    payload: &[u8],
+    reference: &[f64],
+    maps: &StampMaps,
+    params: &HeaderParams,
+    range: core::ops::Range<usize>,
+) -> Result<(), CompressError> {
+    let chunk_start = range.start;
+    let mut r = BitReader::new(payload);
+    decode_range(&mut r, out, reference, maps, params, range, chunk_start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masc_sparse::{Pattern, TripletMatrix};
+
+    fn pattern(n: usize, band: usize) -> Pattern {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            for j in i.saturating_sub(band)..(i + band + 1).min(n) {
+                t.add(i, j, 1.0);
+            }
+        }
+        t.to_csr().pattern().as_ref().clone()
+    }
+
+    fn values(p: &Pattern, time: f64) -> Vec<f64> {
+        (0..p.nnz())
+            .map(|k| {
+                let sign = if k % 5 == 0 { 3.0 } else { -1.0 };
+                sign * (1.0 + 1e-4 * (time + k as f64 * 0.01).sin())
+            })
+            .collect()
+    }
+
+    fn check(config: &MascConfig, n: usize) {
+        let p = pattern(n, 2);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 1.0);
+        let reference = values(&p, 1.01);
+        let (bytes, stats) = compress_matrix_parallel(&cur, &reference, &maps, config);
+        assert!(stats.output_bytes > 0);
+        let out = decompress_matrix_parallel(&bytes, &reference, &maps, config).unwrap();
+        for (a, b) in cur.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_chunk_round_trip() {
+        let config = MascConfig {
+            chunk_size: 1 << 20,
+            threads: 1,
+            ..MascConfig::default()
+        };
+        check(&config, 40);
+    }
+
+    #[test]
+    fn many_small_chunks_round_trip() {
+        let config = MascConfig {
+            chunk_size: 17, // deliberately awkward
+            threads: 1,
+            markov_min_warmup: 4,
+            ..MascConfig::default()
+        };
+        check(&config, 60);
+    }
+
+    #[test]
+    fn multithreaded_round_trip() {
+        let config = MascConfig {
+            chunk_size: 64,
+            threads: 4,
+            markov_min_warmup: 8,
+            ..MascConfig::default()
+        };
+        check(&config, 100);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_bytes() {
+        let p = pattern(80, 2);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 2.0);
+        let reference = values(&p, 2.02);
+        let serial = MascConfig {
+            chunk_size: 50,
+            threads: 1,
+            ..MascConfig::default()
+        };
+        let parallel = MascConfig {
+            threads: 3,
+            ..serial.clone()
+        };
+        let (b1, _) = compress_matrix_parallel(&cur, &reference, &maps, &serial);
+        let (b2, _) = compress_matrix_parallel(&cur, &reference, &maps, &parallel);
+        assert_eq!(b1, b2);
+        // Cross-decode: serial-compressed stream with parallel decoder.
+        let out = decompress_matrix_parallel(&b1, &reference, &maps, &parallel).unwrap();
+        for (a, b) in cur.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_and_serial_formats_are_distinguished() {
+        let p = pattern(30, 1);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 0.0);
+        let reference = values(&p, 0.01);
+        let config = MascConfig {
+            chunk_size: 16,
+            ..MascConfig::default()
+        };
+        let (chunked, _) = compress_matrix_parallel(&cur, &reference, &maps, &config);
+        assert!(crate::matrix::decompress_matrix(&chunked, &reference, &maps).is_err());
+        let (serial, _) = crate::matrix::compress_matrix(&cur, &reference, &maps, &config);
+        assert!(decompress_matrix_parallel(&serial, &reference, &maps, &config).is_err());
+    }
+
+    #[test]
+    fn truncated_chunked_stream_is_error() {
+        let p = pattern(30, 1);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 0.0);
+        let reference = values(&p, 0.01);
+        let config = MascConfig {
+            chunk_size: 16,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix_parallel(&cur, &reference, &maps, &config);
+        for cut in [0, 3, bytes.len() - 1] {
+            assert!(
+                decompress_matrix_parallel(&bytes[..cut], &reference, &maps, &config).is_err()
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_values_round_trip_chunked() {
+        let p = pattern(16, 1);
+        let maps = StampMaps::new(&p);
+        let specials = [f64::NAN, f64::INFINITY, -0.0, 1e-308, -1e308, 0.0];
+        let cur: Vec<f64> = (0..p.nnz()).map(|i| specials[i % specials.len()]).collect();
+        let reference: Vec<f64> = (0..p.nnz())
+            .map(|i| specials[(i + 2) % specials.len()])
+            .collect();
+        let config = MascConfig {
+            chunk_size: 7,
+            threads: 2,
+            markov_min_warmup: 2,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix_parallel(&cur, &reference, &maps, &config);
+        let out = decompress_matrix_parallel(&bytes, &reference, &maps, &config).unwrap();
+        for (a, b) in cur.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: the MASC compressor's central claim is *bit-exact
+//! losslessness* for arbitrary values over arbitrary patterns.
+
+use masc_compress::{
+    compress_matrix, compress_matrix_parallel, decompress_matrix, decompress_matrix_parallel,
+    MascConfig, StampMaps, TensorCompressor,
+};
+use masc_sparse::{Pattern, TripletMatrix};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Arbitrary sparse square patterns (mix of symmetric and ragged).
+fn pattern_strategy() -> impl Strategy<Value = Arc<Pattern>> {
+    (2usize..20, proptest::collection::vec((0usize..20, 0usize..20), 1..80)).prop_map(
+        |(n, coords)| {
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                t.add(i, i, 0.0); // diagonals usually exist in MNA
+            }
+            for (r, c) in coords {
+                t.add(r % n, c % n, 0.0);
+            }
+            t.to_csr().pattern().clone()
+        },
+    )
+}
+
+/// Value vectors including special floats.
+fn values_strategy(nnz: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => any::<f64>(),
+            2 => -1e3f64..1e3,
+            1 => Just(0.0f64),
+            1 => Just(f64::NAN),
+            1 => Just(f64::INFINITY),
+            1 => Just(-0.0f64),
+        ],
+        nnz,
+    )
+}
+
+fn config_strategy() -> impl Strategy<Value = MascConfig> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 1usize..40).prop_map(
+        |(markov, sign_invert, checksum, min_warmup)| MascConfig {
+            markov,
+            markov_min_warmup: min_warmup,
+            sign_invert_diag: sign_invert,
+            checksum,
+            ..MascConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matrix_round_trip_is_bit_exact(
+        (pattern, values, reference, config) in pattern_strategy().prop_flat_map(|p| {
+            let nnz = p.nnz();
+            (Just(p), values_strategy(nnz), values_strategy(nnz), config_strategy())
+        })
+    ) {
+        let maps = StampMaps::new(&pattern);
+        let (bytes, stats) = compress_matrix(&values, &reference, &maps, &config);
+        prop_assert_eq!(stats.total_values(), values.len() as u64);
+        let out = decompress_matrix(&bytes, &reference, &maps).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_round_trip_is_bit_exact(
+        (pattern, values, reference, chunk, threads) in pattern_strategy().prop_flat_map(|p| {
+            let nnz = p.nnz();
+            (Just(p), values_strategy(nnz), values_strategy(nnz), 1usize..30, 1usize..4)
+        })
+    ) {
+        let maps = StampMaps::new(&pattern);
+        let config = MascConfig {
+            chunk_size: chunk,
+            threads,
+            markov_min_warmup: 4,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix_parallel(&values, &reference, &maps, &config);
+        let out = decompress_matrix_parallel(&bytes, &reference, &maps, &config).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn tensor_backward_replay_is_exact(
+        (pattern, series) in pattern_strategy().prop_flat_map(|p| {
+            let nnz = p.nnz();
+            let series = proptest::collection::vec(values_strategy(nnz), 1..8);
+            (Just(p), series)
+        })
+    ) {
+        let mut tc = TensorCompressor::new(pattern, MascConfig {
+            markov_min_warmup: 4,
+            ..MascConfig::default()
+        });
+        for m in &series {
+            tc.push(m);
+        }
+        let tensor = tc.finish();
+        prop_assert_eq!(tensor.len(), series.len());
+        let mut back = tensor.into_backward();
+        let mut step_expect = series.len();
+        while let Some((step, values)) = back.next_matrix().unwrap() {
+            step_expect -= 1;
+            prop_assert_eq!(step, step_expect);
+            for (a, b) in series[step].iter().zip(&values) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        prop_assert_eq!(step_expect, 0);
+    }
+
+    #[test]
+    fn truncation_never_panics(
+        (pattern, values) in pattern_strategy().prop_flat_map(|p| {
+            let nnz = p.nnz();
+            (Just(p), values_strategy(nnz))
+        }),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let maps = StampMaps::new(&pattern);
+        let reference = vec![0.0; values.len()];
+        let (bytes, _) = compress_matrix(&values, &reference, &maps, &MascConfig::default());
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        // Either a clean error or (for cuts in the zero-padded tail) a
+        // successful decode — never a panic.
+        let _ = decompress_matrix(&bytes[..cut.min(bytes.len())], &reference, &maps);
+    }
+}

@@ -1,0 +1,579 @@
+//! Parametric circuit generators.
+//!
+//! The paper's workloads are proprietary (CHIP_xx netlists) or distributed
+//! as raw matrices (add20, mem_plus, MOS_Tx). These generators build
+//! circuits of the same *element classes* (BJT chips, MOS digital blocks,
+//! RC parasitic networks) at configurable sizes, so every experiment runs
+//! on data with the right structure: fixed MNA patterns, stamp symmetry,
+//! strong temporal correlation, and a linear/nonlinear element mix.
+
+use masc_circuit::devices::{
+    Bjt, Capacitor, CurrentSource, Device, Diode, Mosfet, MosPolarity, Resistor, VoltageSource,
+};
+use masc_circuit::{Circuit, Node, Waveform};
+
+/// Deterministic value jitter so generated elements are not all identical
+/// (keeps the compressor honest). Returns a factor in `[1−spread, 1+spread]`.
+fn jitter(seed: &mut u64, spread: f64) -> f64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let unit = ((*seed >> 33) as f64) / (1u64 << 31) as f64; // [0, 1)
+    1.0 + spread * (2.0 * unit - 1.0)
+}
+
+/// A pulse suitable for digital-style drive at the given time scale.
+fn clock(period: f64, level: f64) -> Waveform {
+    Waveform::Pulse {
+        v1: 0.0,
+        v2: level,
+        td: period * 0.05,
+        tr: period * 0.05,
+        tf: period * 0.05,
+        pw: period * 0.4,
+        per: period,
+    }
+}
+
+/// An RC ladder: `V — (R — node — C)ⁿ`. Pure linear circuit (the `RC_xx`
+/// rows of paper Table 1).
+pub fn rc_ladder(sections: usize, period: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut seed = 0x5EED_0001u64;
+    let input = ckt.node("in");
+    ckt.add(Device::VoltageSource(VoltageSource::new(
+        "V1",
+        input.unknown(),
+        None,
+        clock(period, 1.0),
+    )))
+    .expect("fresh circuit");
+    let mut prev = input;
+    for i in 0..sections {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("R{i}"),
+            prev.unknown(),
+            node.unknown(),
+            100.0 * jitter(&mut seed, 0.3),
+        )))
+        .expect("unique name");
+        ckt.add(Device::Capacitor(Capacitor::new(
+            format!("C{i}"),
+            node.unknown(),
+            None,
+            1e-12 * jitter(&mut seed, 0.3),
+        )))
+        .expect("unique name");
+        prev = node;
+    }
+    ckt
+}
+
+/// An RC mesh: a `w×h` resistor grid with node capacitors, driven at one
+/// corner — a parasitic-extraction-style network.
+pub fn rc_mesh(w: usize, h: usize, period: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut seed = 0x5EED_0002u64;
+    let input = ckt.node("in");
+    ckt.add(Device::VoltageSource(VoltageSource::new(
+        "V1",
+        input.unknown(),
+        None,
+        clock(period, 1.0),
+    )))
+    .expect("fresh circuit");
+    let node = |ckt: &mut Circuit, x: usize, y: usize| ckt.node(&format!("g{x}_{y}"));
+    let first = node(&mut ckt, 0, 0);
+    ckt.add(Device::Resistor(Resistor::new(
+        "Rin",
+        input.unknown(),
+        first.unknown(),
+        50.0,
+    )))
+    .expect("unique name");
+    for y in 0..h {
+        for x in 0..w {
+            let here = node(&mut ckt, x, y);
+            ckt.add(Device::Capacitor(Capacitor::new(
+                format!("C{x}_{y}"),
+                here.unknown(),
+                None,
+                0.5e-12 * jitter(&mut seed, 0.4),
+            )))
+            .expect("unique name");
+            if x + 1 < w {
+                let right = node(&mut ckt, x + 1, y);
+                ckt.add(Device::Resistor(Resistor::new(
+                    format!("Rx{x}_{y}"),
+                    here.unknown(),
+                    right.unknown(),
+                    120.0 * jitter(&mut seed, 0.4),
+                )))
+                .expect("unique name");
+            }
+            if y + 1 < h {
+                let down = node(&mut ckt, x, y + 1);
+                ckt.add(Device::Resistor(Resistor::new(
+                    format!("Ry{x}_{y}"),
+                    here.unknown(),
+                    down.unknown(),
+                    120.0 * jitter(&mut seed, 0.4),
+                )))
+                .expect("unique name");
+            }
+        }
+    }
+    // Light load to ground at the far corner for a defined DC point.
+    let far = node(&mut ckt, w - 1, h - 1);
+    ckt.add(Device::Resistor(Resistor::new(
+        "Rload",
+        far.unknown(),
+        None,
+        1e4,
+    )))
+    .expect("unique name");
+    ckt
+}
+
+/// A diode–resistor "adder-like" cell chain (the `add20` analogue): each
+/// cell clips a ramped signal with a diode and feeds the next cell.
+pub fn diode_cell_chain(cells: usize, period: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut seed = 0x5EED_0003u64;
+    let input = ckt.node("in");
+    ckt.add(Device::VoltageSource(VoltageSource::new(
+        "V1",
+        input.unknown(),
+        None,
+        Waveform::Sin {
+            vo: 0.4,
+            va: 0.5,
+            freq: 1.0 / period,
+            td: 0.0,
+            theta: 0.0,
+        },
+    )))
+    .expect("fresh circuit");
+    let mut prev = input;
+    for i in 0..cells {
+        let mid = ckt.node(&format!("m{i}"));
+        let node = ckt.node(&format!("d{i}"));
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("R{i}"),
+            prev.unknown(),
+            mid.unknown(),
+            500.0 * jitter(&mut seed, 0.2),
+        )))
+        .expect("unique name");
+        // Series diode between two internal nodes: its stamp is a varying
+        // symmetric 2×2 block — the structure the paper's matrix-stamp
+        // predictor exploits.
+        let mut d = Diode::new(format!("D{i}"), mid.unknown(), node.unknown());
+        d.cj0 = 2e-12 * jitter(&mut seed, 0.3);
+        ckt.add(Device::Diode(d)).expect("unique name");
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("Rb{i}"),
+            node.unknown(),
+            None,
+            5e3,
+        )))
+        .expect("unique name");
+        prev = node;
+    }
+    ckt
+}
+
+/// A chain of resistively-loaded BJT common-emitter stages with diffusion
+/// capacitance (the `CHIP_xx` BJT analogue).
+pub fn bjt_amp_chain(stages: usize, period: f64) -> Circuit {
+    // Cap the cascade depth: each stage has gain, and the small-signal
+    // chain gain (hence DC conditioning) grows exponentially with depth.
+    const MAX_DEPTH: usize = 6;
+    let mut ckt = Circuit::new();
+    let mut seed = 0x5EED_0004u64;
+    let vcc = ckt.node("vcc");
+    ckt.add(Device::VoltageSource(VoltageSource::new(
+        "VCC",
+        vcc.unknown(),
+        None,
+        Waveform::Dc(5.0),
+    )))
+    .expect("fresh circuit");
+    // Reassigned at i = 0 before first use (i % MAX_DEPTH == 0).
+    let mut drive = Node::GROUND;
+    for i in 0..stages {
+        if i % MAX_DEPTH == 0 {
+            let input = ckt.node(&format!("in{i}"));
+            ckt.add(Device::VoltageSource(VoltageSource::new(
+                format!("VIN{i}"),
+                input.unknown(),
+                None,
+                Waveform::Sin {
+                    vo: 0.65,
+                    va: 0.005,
+                    freq: (2.0 + (i % 5) as f64) / period,
+                    td: period * 0.02 * (i % 7) as f64,
+                    theta: 0.0,
+                },
+            )))
+            .expect("unique name");
+            drive = input;
+        }
+        let b = ckt.node(&format!("b{i}"));
+        let c = ckt.node(&format!("c{i}"));
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("RB{i}"),
+            drive.unknown(),
+            b.unknown(),
+            1e3 * jitter(&mut seed, 0.2),
+        )))
+        .expect("unique name");
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("RC{i}"),
+            vcc.unknown(),
+            c.unknown(),
+            2e3 * jitter(&mut seed, 0.2),
+        )))
+        .expect("unique name");
+        let q = Bjt::new(format!("Q{i}"), c.unknown(), b.unknown(), None)
+            .with_transit_times(0.5e-9, 5e-9);
+        ckt.add(Device::Bjt(q)).expect("unique name");
+        // Level-shift the collector down for the next base through a
+        // divider so every stage stays in forward-active.
+        let shifted = ckt.node(&format!("s{i}"));
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("RS{i}"),
+            c.unknown(),
+            shifted.unknown(),
+            20e3,
+        )))
+        .expect("unique name");
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("RG{i}"),
+            shifted.unknown(),
+            None,
+            4e3,
+        )))
+        .expect("unique name");
+        ckt.add(Device::Capacitor(Capacitor::new(
+            format!("CL{i}"),
+            c.unknown(),
+            None,
+            1e-12 * jitter(&mut seed, 0.3),
+        )))
+        .expect("unique name");
+        drive = shifted;
+    }
+    ckt
+}
+
+/// NMOS inverter logic (the `MOS_Tx` / `smult20` digital analogue).
+///
+/// `stages` inverters are arranged as parallel chains of at most 24
+/// stages, each chain driven by its own phase-shifted clock. Bounding the
+/// depth matters physically: a very deep chain's DC bias converges along
+/// its length to the metastable mid-rail point, where the small-signal
+/// gain — and the Jacobian's condition number — grows exponentially with
+/// depth. Real digital blocks are wide, not thousands of gates deep.
+pub fn mos_inverter_chain(stages: usize, period: f64) -> Circuit {
+    const MAX_DEPTH: usize = 24;
+    let mut ckt = Circuit::new();
+    let mut seed = 0x5EED_0005u64;
+    let vdd = ckt.node("vdd");
+    ckt.add(Device::VoltageSource(VoltageSource::new(
+        "VDD",
+        vdd.unknown(),
+        None,
+        Waveform::Dc(3.3),
+    )))
+    .expect("fresh circuit");
+    let chains = stages.div_ceil(MAX_DEPTH);
+    let mut built = 0usize;
+    for chain in 0..chains {
+        let input = ckt.node(&format!("in{chain}"));
+        ckt.add(Device::VoltageSource(VoltageSource::new(
+            format!("VIN{chain}"),
+            input.unknown(),
+            None,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 3.3,
+                td: period * 0.05 + period * (chain % 9) as f64 / 9.0,
+                tr: period * 0.05,
+                tf: period * 0.05,
+                pw: period * 0.4,
+                per: period,
+            },
+        )))
+        .expect("unique name");
+        let mut drive = input;
+        let depth = MAX_DEPTH.min(stages - built);
+        for _ in 0..depth {
+            let i = built;
+            built += 1;
+            let out = ckt.node(&format!("o{i}"));
+            ckt.add(Device::Resistor(Resistor::new(
+                format!("RL{i}"),
+                vdd.unknown(),
+                out.unknown(),
+                8e3 * jitter(&mut seed, 0.2),
+            )))
+            .expect("unique name");
+            let mut m = Mosfet::new(
+                format!("M{i}"),
+                out.unknown(),
+                drive.unknown(),
+                None,
+                MosPolarity::Nmos,
+            );
+            m.kp = 1.5e-4 * jitter(&mut seed, 0.2);
+            m.cgs = 20e-15 * jitter(&mut seed, 0.3);
+            m.cgd = 8e-15 * jitter(&mut seed, 0.3);
+            ckt.add(Device::Mosfet(m)).expect("unique name");
+            ckt.add(Device::Capacitor(Capacitor::new(
+                format!("CW{i}"),
+                out.unknown(),
+                None,
+                30e-15,
+            )))
+            .expect("unique name");
+            drive = out;
+        }
+    }
+    ckt
+}
+
+/// A RAM-like array (the `ram2k`/`mem_plus` analogue): `cells` bit cells,
+/// each an NMOS pass transistor + storage cap on a shared bitline,
+/// selected by staggered wordline pulses.
+pub fn ram_array(cells: usize, period: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut seed = 0x5EED_0006u64;
+    let bitline = ckt.node("bl");
+    ckt.add(Device::VoltageSource(VoltageSource::new(
+        "VBL",
+        bitline.unknown(),
+        None,
+        clock(period, 3.3),
+    )))
+    .expect("fresh circuit");
+    ckt.add(Device::Resistor(Resistor::new(
+        "RBL",
+        bitline.unknown(),
+        None,
+        50e3,
+    )))
+    .expect("unique name");
+    for i in 0..cells {
+        let wl = ckt.node(&format!("wl{i}"));
+        let cell = ckt.node(&format!("cell{i}"));
+        // Staggered wordline drive.
+        ckt.add(Device::VoltageSource(VoltageSource::new(
+            format!("VW{i}"),
+            wl.unknown(),
+            None,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 3.3,
+                td: period * (i % 7) as f64 / 7.0,
+                tr: period * 0.02,
+                tf: period * 0.02,
+                pw: period * 0.2,
+                per: period,
+            },
+        )))
+        .expect("unique name");
+        let mut m = Mosfet::new(
+            format!("MP{i}"),
+            bitline.unknown(),
+            wl.unknown(),
+            cell.unknown(),
+            MosPolarity::Nmos,
+        );
+        m.cgs = 5e-15;
+        m.cgd = 5e-15;
+        m.kp = 1e-4 * jitter(&mut seed, 0.2);
+        ckt.add(Device::Mosfet(m)).expect("unique name");
+        ckt.add(Device::Capacitor(Capacitor::new(
+            format!("CS{i}"),
+            cell.unknown(),
+            None,
+            25e-15 * jitter(&mut seed, 0.2),
+        )))
+        .expect("unique name");
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("RLK{i}"),
+            cell.unknown(),
+            None,
+            1e7,
+        )))
+        .expect("unique name");
+    }
+    ckt
+}
+
+/// A multiplier-like MOS array (the `smult20` analogue): a `rows×cols`
+/// grid of inverting stages with row/column interconnect resistance.
+pub fn mos_mult_array(rows: usize, cols: usize, period: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut seed = 0x5EED_0007u64;
+    let vdd = ckt.node("vdd");
+    ckt.add(Device::VoltageSource(VoltageSource::new(
+        "VDD",
+        vdd.unknown(),
+        None,
+        Waveform::Dc(3.3),
+    )))
+    .expect("fresh circuit");
+    // Row drive signals with different phases.
+    let mut drives = Vec::new();
+    for r in 0..rows {
+        let d = ckt.node(&format!("row{r}"));
+        ckt.add(Device::VoltageSource(VoltageSource::new(
+            format!("VR{r}"),
+            d.unknown(),
+            None,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 3.3,
+                td: period * r as f64 / rows as f64 / 2.0,
+                tr: period * 0.03,
+                tf: period * 0.03,
+                pw: period * 0.35,
+                per: period,
+            },
+        )))
+        .expect("unique name");
+        drives.push(d);
+    }
+    for r in 0..rows {
+        let mut gate = drives[r];
+        for c in 0..cols {
+            // Re-drive the gate chain periodically: unbounded logic depth
+            // makes the DC bias exponentially ill-conditioned (see
+            // `mos_inverter_chain`).
+            if c > 0 && c % 8 == 0 {
+                gate = drives[(r + c / 8) % rows];
+            }
+            let out = ckt.node(&format!("m{r}_{c}"));
+            ckt.add(Device::Resistor(Resistor::new(
+                format!("RL{r}_{c}"),
+                vdd.unknown(),
+                out.unknown(),
+                10e3 * jitter(&mut seed, 0.25),
+            )))
+            .expect("unique name");
+            let mut m = Mosfet::new(
+                format!("M{r}_{c}"),
+                out.unknown(),
+                gate.unknown(),
+                None,
+                MosPolarity::Nmos,
+            );
+            m.kp = 1.2e-4 * jitter(&mut seed, 0.25);
+            m.cgs = 15e-15;
+            m.cgd = 6e-15;
+            ckt.add(Device::Mosfet(m)).expect("unique name");
+            // Column coupling to the neighbor row's same column.
+            if r + 1 < rows {
+                let below = ckt.node(&format!("m{}_{c}", r + 1));
+                ckt.add(Device::Capacitor(Capacitor::new(
+                    format!("CC{r}_{c}"),
+                    out.unknown(),
+                    below.unknown(),
+                    2e-15,
+                )))
+                .expect("unique name");
+            }
+            ckt.add(Device::Capacitor(Capacitor::new(
+                format!("CG{r}_{c}"),
+                out.unknown(),
+                None,
+                20e-15,
+            )))
+            .expect("unique name");
+            gate = out;
+        }
+    }
+    // A small current-source load models static leakage paths.
+    let corner = ckt.node(&format!("m{}_{}", rows - 1, cols - 1));
+    ckt.add(Device::CurrentSource(CurrentSource::new(
+        "ILK",
+        corner.unknown(),
+        None,
+        Waveform::Dc(1e-9),
+    )))
+    .expect("unique name");
+    ckt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use masc_circuit::transient::{transient, NullSink, TranOptions};
+
+    fn smoke(mut ckt: Circuit, period: f64) {
+        let mut sys = ckt.elaborate().expect("elaborates");
+        let opts = TranOptions::new(period, period / 40.0);
+        let result = transient(&ckt, &mut sys, &opts, &mut NullSink).expect("transient runs");
+        assert_eq!(result.stats.steps, 40);
+        // All states finite.
+        for x in &result.states {
+            assert!(x.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn rc_ladder_runs() {
+        smoke(rc_ladder(20, 1e-6), 1e-6);
+    }
+
+    #[test]
+    fn rc_mesh_runs() {
+        smoke(rc_mesh(5, 4, 1e-6), 1e-6);
+    }
+
+    #[test]
+    fn diode_chain_runs() {
+        smoke(diode_cell_chain(10, 1e-5), 1e-5);
+    }
+
+    #[test]
+    fn bjt_chain_runs() {
+        smoke(bjt_amp_chain(5, 1e-5), 1e-5);
+    }
+
+    #[test]
+    fn mos_inverter_chain_runs() {
+        smoke(mos_inverter_chain(10, 1e-6), 1e-6);
+    }
+
+    #[test]
+    fn ram_array_runs() {
+        smoke(ram_array(8, 1e-6), 1e-6);
+    }
+
+    #[test]
+    fn mos_mult_array_runs() {
+        smoke(mos_mult_array(3, 4, 1e-6), 1e-6);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = rc_ladder(5, 1e-6);
+        let b = rc_ladder(5, 1e-6);
+        assert_eq!(a.devices().len(), b.devices().len());
+        for (da, db) in a.devices().iter().zip(b.devices()) {
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn element_counts_scale() {
+        assert!(rc_ladder(100, 1e-6).devices().len() > rc_ladder(10, 1e-6).devices().len());
+        let mesh = rc_mesh(10, 10, 1e-6);
+        // ~3 devices per grid node.
+        assert!(mesh.devices().len() > 250);
+    }
+}

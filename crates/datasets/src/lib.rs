@@ -1,0 +1,34 @@
+//! Synthetic workload generation for the MASC evaluation.
+//!
+//! The paper evaluates on proprietary netlists and locally-generated
+//! matrix dumps; neither is available. This crate substitutes parametric
+//! circuit [`generators`] of the same element classes (BJT chips, MOS
+//! digital blocks, RAM arrays, RC networks), a [`dataset`] capture step
+//! that runs the real simulator and extracts the `G`/`C` Jacobian tensors,
+//! and a [`registry`] mapping each paper dataset/circuit name to a scaled
+//! analogue (see `DESIGN.md` §5 for the substitution rationale).
+//!
+//! # Examples
+//!
+//! ```
+//! use masc_datasets::registry::table2_datasets;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = &table2_datasets()[0]; // add20 analogue
+//! let dataset = spec.generate(0.05)?; // tiny scale for the doctest
+//! assert!(dataset.s_nz_bytes() > 0);
+//! assert_eq!(dataset.g_series.len(), dataset.c_series.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dataset;
+pub mod generators;
+pub mod registry;
+
+pub use dataset::{capture, Dataset};
+pub use registry::{table1_circuits, table2_datasets, DatasetSpec, Family};

@@ -1,0 +1,91 @@
+//! Property tests: sparse LU vs dense reference, pattern invariants.
+
+use masc_sparse::{lu::LuOptions, CsrMatrix, LuFactors, Pattern, TripletMatrix};
+use proptest::prelude::*;
+
+/// Random diagonally-dominant sparse matrices (always solvable).
+fn matrix_strategy(n: usize) -> impl Strategy<Value = CsrMatrix> {
+    let offdiag = proptest::collection::vec(
+        ((0..n), (0..n), -1.0f64..1.0),
+        0..(3 * n),
+    );
+    offdiag.prop_map(move |entries| {
+        let mut t = TripletMatrix::new(n, n);
+        let mut rowsum = vec![0.0f64; n];
+        for &(r, c, v) in &entries {
+            if r != c {
+                t.add(r, c, v);
+                rowsum[r] += v.abs();
+            }
+        }
+        for (r, s) in rowsum.iter().enumerate() {
+            t.add(r, r, s + 1.0 + (r as f64) * 0.01);
+        }
+        t.to_csr()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solves_match_dense((a, b) in matrix_strategy(12).prop_flat_map(|a| {
+        let n = a.rows();
+        (Just(a), proptest::collection::vec(-10.0f64..10.0, n))
+    })) {
+        let dense = a.to_dense();
+        let x_ref = dense.solve(&b).expect("diagonally dominant is solvable");
+        let lu = LuFactors::factor(&a).expect("sparse LU");
+        let x = lu.solve(&b);
+        for (s, d) in x.iter().zip(&x_ref) {
+            prop_assert!((s - d).abs() < 1e-8 * (1.0 + d.abs()));
+        }
+        let xt = lu.solve_transpose(&b);
+        let xt_ref = dense.solve_transpose(&b).expect("transpose solvable");
+        for (s, d) in xt.iter().zip(&xt_ref) {
+            prop_assert!((s - d).abs() < 1e-8 * (1.0 + d.abs()));
+        }
+    }
+
+    #[test]
+    fn lu_residual_is_small(a in matrix_strategy(20)) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        for rcm in [false, true] {
+            let lu = LuFactors::factor_with(&a, LuOptions { rcm_ordering: rcm, ..LuOptions::default() }).unwrap();
+            let x = lu.solve(&b);
+            let ax = a.mul_vec(&x);
+            for (l, r) in ax.iter().zip(&b) {
+                prop_assert!((l - r).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_round_trips_and_maps_are_involutions(a in matrix_strategy(15)) {
+        let p = a.pattern();
+        let bytes = p.to_compressed_bytes();
+        let q = Pattern::from_compressed_bytes(&bytes).unwrap();
+        prop_assert_eq!(p.as_ref(), &q);
+        for k in 0..p.nnz() {
+            if let Some(t) = p.transpose_of(k) {
+                prop_assert_eq!(p.transpose_of(t), Some(k));
+            }
+        }
+        let part = p.partition_uld();
+        prop_assert_eq!(part.upper.len() + part.lower.len() + part.diag.len(), p.nnz());
+    }
+
+    #[test]
+    fn mul_vec_transpose_consistent(a in matrix_strategy(10)) {
+        // xᵀ(A y) == (Aᵀ x)ᵀ y for random x, y.
+        let n = a.rows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 0.5).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64).cos() - 0.3).collect();
+        let ay = a.mul_vec(&y);
+        let atx = a.mul_vec_transpose(&x);
+        let lhs: f64 = x.iter().zip(&ay).map(|(p, q)| p * q).sum();
+        let rhs: f64 = atx.iter().zip(&y).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: parse a netlist, run transient + adjoint sensitivity with
+//! the MASC compressed Jacobian store, and print the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use masc::adjoint::{run_adjoint, Objective, StoreConfig};
+use masc::circuit::parser::parse_netlist;
+use masc::compress::MascConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An RC lowpass driven by a pulse train.
+    let netlist = "\
+RC lowpass quickstart
+V1 in 0 PULSE(0 5 0 10n 10n 1u 2u)
+R1 in out 1k
+C1 out 0 1n
+.tran 10n 4u
+.end";
+    let mut parsed = parse_netlist(netlist)?;
+    println!("parsed: {:?}", parsed.title);
+    let tran = parsed.tran.clone().expect("netlist has .tran");
+
+    let out = parsed
+        .circuit
+        .find_node("out")
+        .expect("node exists")
+        .unknown()
+        .expect("not ground");
+    let objectives = [
+        Objective::FinalValue { unknown: out },
+        Objective::Integral { unknown: out },
+    ];
+    let params = [
+        parsed.circuit.find_param("R1.r").expect("param"),
+        parsed.circuit.find_param("C1.c").expect("param"),
+        parsed.circuit.find_param("V1.scale").expect("param"),
+    ];
+
+    let run = run_adjoint(
+        &mut parsed.circuit,
+        &tran,
+        &StoreConfig::Compressed(MascConfig::default()),
+        &objectives,
+        &params,
+    )?;
+
+    println!("\nobjective values:");
+    println!("  v(out) at t_stop   = {:.6} V", run.objective_values[0]);
+    println!("  ∫ v(out) dt        = {:.6e} V·s", run.objective_values[1]);
+
+    println!("\nsensitivities (adjoint, MASC-compressed Jacobian store):");
+    for (i, name) in ["v(out)@end", "∫v(out)dt"].iter().enumerate() {
+        for (j, p) in params.iter().enumerate() {
+            println!(
+                "  d {name} / d {:<9} = {:>12.4e}",
+                p.path, run.sensitivities.values[i][j]
+            );
+        }
+    }
+
+    println!(
+        "\nforward: {} steps in {:.3} ms ({} Newton iterations)",
+        run.tran_stats.steps,
+        run.tran_stats.total_time.as_secs_f64() * 1e3,
+        run.tran_stats.newton_iterations
+    );
+    println!(
+        "reverse: {:.3} ms; peak Jacobian storage {:.1} kB (compressed)",
+        run.sensitivities.stats.total_time.as_secs_f64() * 1e3,
+        run.peak_storage_bytes as f64 / 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! # MASC — Memory-efficient Adjoint Sensitivity analysis through Compression
+//!
+//! A from-scratch Rust reproduction of *"MASC: A Memory-Efficient Adjoint
+//! Sensitivity Analysis through Compression Using Novel Spatiotemporal
+//! Prediction"* (DAC 2024): a SPICE-like circuit simulator whose transient
+//! Jacobian matrices are stored — losslessly compressed — during forward
+//! integration and replayed during the adjoint reverse pass, instead of
+//! being recomputed or spilled to disk.
+//!
+//! This crate is a facade re-exporting the whole stack:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`bitio`] | `masc-bitio` | bit I/O, varint/zigzag |
+//! | [`codec`] | `masc-codec` | Huffman, rANS, range coder, LZSS, RLE |
+//! | [`sparse`] | `masc-sparse` | shared-pattern CSR, sparse LU (+ transpose solves) |
+//! | [`circuit`] | `masc-circuit` | devices, MNA, DC, transient, netlist parser |
+//! | [`adjoint`] | `masc-adjoint` | adjoint/direct/FD sensitivities, Jacobian stores |
+//! | [`compress`] | `masc-compress` | **the paper's contribution**: spatiotemporal Jacobian-tensor compression |
+//! | [`baselines`] | `masc-baselines` | GZIP/FPZIP/NDZIP/SpiceMate/Chimp-style comparators |
+//! | [`datasets`] | `masc-datasets` | synthetic workload generators + registry |
+//!
+//! # Quick start
+//!
+//! ```
+//! use masc::adjoint::{run_adjoint, Objective, StoreConfig};
+//! use masc::circuit::parser::parse_netlist;
+//! use masc::compress::MascConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut parsed = parse_netlist(
+//!     "V1 in 0 PULSE(0 5 0 10n 10n 1u 2u)\n\
+//!      R1 in out 1k\n\
+//!      C1 out 0 1n\n\
+//!      .tran 10n 2u\n\
+//!      .end",
+//! )?;
+//! let tran = parsed.tran.clone().expect(".tran card");
+//! let out = parsed.circuit.find_node("out").expect("node").unknown().expect("non-ground");
+//! let objectives = [Objective::Integral { unknown: out }];
+//! let params = [parsed.circuit.find_param("R1.r").expect("param")];
+//!
+//! let run = run_adjoint(
+//!     &mut parsed.circuit,
+//!     &tran,
+//!     &StoreConfig::Compressed(MascConfig::default()),
+//!     &objectives,
+//!     &params,
+//! )?;
+//! println!("d ∫v(out) / d R1 = {:.3e}", run.sensitivities.values[0][0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use masc_adjoint as adjoint;
+pub use masc_baselines as baselines;
+pub use masc_bitio as bitio;
+pub use masc_circuit as circuit;
+pub use masc_codec as codec;
+pub use masc_compress as compress;
+pub use masc_datasets as datasets;
+pub use masc_sparse as sparse;
