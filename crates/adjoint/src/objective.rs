@@ -56,9 +56,9 @@ impl Objective {
                 states.last().expect("non-empty waveform")[unknown]
             }
             Objective::AtStep { unknown, step } => states[step][unknown],
-            Objective::Integral { unknown } => (1..states.len())
-                .map(|n| hs[n] * states[n][unknown])
-                .sum(),
+            Objective::Integral { unknown } => {
+                (1..states.len()).map(|n| hs[n] * states[n][unknown]).sum()
+            }
             Objective::IntegralSquared { unknown } => (1..states.len())
                 .map(|n| {
                     let v = states[n][unknown];
@@ -75,14 +75,7 @@ impl Objective {
     /// # Panics
     ///
     /// Panics if `out.len()` does not cover the observed unknown.
-    pub fn gradient_into(
-        &self,
-        step: usize,
-        n_steps: usize,
-        h: f64,
-        x: &[f64],
-        out: &mut [f64],
-    ) {
+    pub fn gradient_into(&self, step: usize, n_steps: usize, h: f64, x: &[f64], out: &mut [f64]) {
         out.iter_mut().for_each(|v| *v = 0.0);
         match *self {
             Objective::FinalValue { unknown } => {

@@ -190,10 +190,7 @@ impl ForwardRecord {
             },
             StoreConfig::Disk { dir, bandwidth } => {
                 std::fs::create_dir_all(dir)?;
-                let path = dir.join(format!(
-                    "masc-jacobians-{}.bin",
-                    std::process::id()
-                ));
+                let path = dir.join(format!("masc-jacobians-{}.bin", std::process::id()));
                 let file = File::options()
                     .create(true)
                     .truncate(true)
@@ -509,12 +506,8 @@ impl BackwardJacobians {
                 StepMatrices::Stored { g, c }
             }
             ReaderImpl::Compressed { g, c } => {
-                let (gs, gv) = g
-                    .next_matrix()?
-                    .expect("G tensor shorter than step count");
-                let (cs, cv) = c
-                    .next_matrix()?
-                    .expect("C tensor shorter than step count");
+                let (gs, gv) = g.next_matrix()?.expect("G tensor shorter than step count");
+                let (cs, cv) = c.next_matrix()?.expect("C tensor shorter than step count");
                 debug_assert_eq!(gs, step);
                 debug_assert_eq!(cs, step);
                 StepMatrices::Stored { g: gv, c: cv }
@@ -640,7 +633,12 @@ mod tests {
             feed(&mut record, &p, 20);
             sizes.push(record.storage_bytes());
         }
-        assert!(sizes[0] > sizes[1], "raw {} vs compressed {}", sizes[0], sizes[1]);
+        assert!(
+            sizes[0] > sizes[1],
+            "raw {} vs compressed {}",
+            sizes[0],
+            sizes[1]
+        );
         assert_eq!(sizes[2], 0);
     }
 

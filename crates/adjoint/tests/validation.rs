@@ -88,7 +88,14 @@ fn cases() -> Vec<Case> {
     ]
 }
 
-fn setup(case: &Case) -> (Circuit, TranOptions, Vec<Objective>, Vec<masc_circuit::ParamRef>) {
+fn setup(
+    case: &Case,
+) -> (
+    Circuit,
+    TranOptions,
+    Vec<Objective>,
+    Vec<masc_circuit::ParamRef>,
+) {
     let parsed = parse_netlist(case.netlist).expect("valid netlist");
     let tran = parsed.tran.clone().expect(".tran present");
     let unknown = parsed
@@ -120,8 +127,7 @@ fn adjoint_matches_direct_method() {
         let (meta, reader) = record.into_parts().unwrap();
         let adj = adjoint_sensitivities(&circuit, &mut system, &meta, reader, &objectives, &params)
             .unwrap();
-        let dir =
-            direct_sensitivities(&circuit, &mut system, &meta, &objectives, &params).unwrap();
+        let dir = direct_sensitivities(&circuit, &mut system, &meta, &objectives, &params).unwrap();
         for (i, (a_row, d_row)) in adj.values.iter().zip(&dir).enumerate() {
             for (j, (a, d)) in a_row.iter().zip(d_row).enumerate() {
                 let scale = a.abs().max(d.abs()).max(1e-12);

@@ -163,7 +163,10 @@ mod tests {
             Token::Literal(7),
             Token::Match { dist: 1, len: 3 },
             Token::Literal(0),
-            Token::Match { dist: 32768, len: 258 },
+            Token::Match {
+                dist: 32768,
+                len: 258,
+            },
             Token::Literal(255),
             Token::Literal(1),
             Token::Match { dist: 300, len: 17 },

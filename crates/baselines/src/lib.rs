@@ -96,7 +96,13 @@ mod tests {
         let names: Vec<_> = all.iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            vec!["GzipLike", "FpzipLike", "NdzipLike", "SpiceMate", "ChimpLike"]
+            vec![
+                "GzipLike",
+                "FpzipLike",
+                "NdzipLike",
+                "SpiceMate",
+                "ChimpLike"
+            ]
         );
         assert_eq!(all.iter().filter(|c| !c.is_lossless()).count(), 1);
     }

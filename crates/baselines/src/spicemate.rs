@@ -154,9 +154,7 @@ mod tests {
 
     #[test]
     fn error_bound_honored_on_smooth_waveform() {
-        let values: Vec<f64> = (0..10_000)
-            .map(|i| (i as f64 * 1e-3).sin() * 2.5)
-            .collect();
+        let values: Vec<f64> = (0..10_000).map(|i| (i as f64 * 1e-3).sin() * 2.5).collect();
         for eb in [1e-3, 1e-6, 1e-9] {
             check_bound(&values, eb);
         }
@@ -164,9 +162,7 @@ mod tests {
 
     #[test]
     fn loose_bound_compresses_hard() {
-        let values: Vec<f64> = (0..10_000)
-            .map(|i| (i as f64 * 1e-3).sin() * 2.5)
-            .collect();
+        let values: Vec<f64> = (0..10_000).map(|i| (i as f64 * 1e-3).sin() * 2.5).collect();
         let loose = check_bound(&values, 1e-2);
         let tight = check_bound(&values, 1e-10);
         assert!(loose < tight, "loose {loose} should beat tight {tight}");

@@ -1,11 +1,12 @@
-//! Criterion micro-benchmarks: the compression stack's hot loops.
+//! Micro-benchmarks of the compression stack's hot loops (testkit bench
+//! runner; run with `cargo bench -p masc-bench --bench codecs`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use masc_baselines::all_baselines;
 use masc_bitio::{BitReader, BitWriter};
 use masc_compress::residual::{decode_residual, encode_residual, ResidualState};
 use masc_compress::{compress_matrix, decompress_matrix, CompressStats, MascConfig, StampMaps};
 use masc_sparse::TripletMatrix;
+use masc_testkit::bench::{black_box, Bench};
 
 /// A Jacobian-like value stream: mostly constant with a varying minority.
 fn jacobian_stream(n: usize) -> Vec<f64> {
@@ -21,54 +22,47 @@ fn jacobian_stream(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_bitio(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bitio");
-    group.throughput(Throughput::Bytes(8 * 4096));
-    group.bench_function("write_bits_mixed", |b| {
-        b.iter(|| {
-            let mut w = BitWriter::with_capacity(8 * 4096);
-            for i in 0..4096u64 {
-                w.write_bits(i, ((i % 63) + 1) as u32);
-            }
-            w.into_bytes()
-        })
+fn bench_bitio(bench: &mut Bench) {
+    let mut group = bench.group("bitio");
+    group.throughput_bytes(8 * 4096);
+    group.bench("write_bits_mixed", || {
+        let mut w = BitWriter::with_capacity(8 * 4096);
+        for i in 0..4096u64 {
+            w.write_bits(i, ((i % 63) + 1) as u32);
+        }
+        w.into_bytes()
     });
     let mut w = BitWriter::new();
     for i in 0..4096u64 {
         w.write_bits(i, ((i % 63) + 1) as u32);
     }
     let bytes = w.into_bytes();
-    group.bench_function("read_bits_mixed", |b| {
-        b.iter(|| {
-            let mut r = BitReader::new(&bytes);
-            let mut acc = 0u64;
-            for i in 0..4096u64 {
-                acc ^= r.read_bits(((i % 63) + 1) as u32).expect("in range");
-            }
-            acc
-        })
+    group.bench("read_bits_mixed", || {
+        let mut r = BitReader::new(&bytes);
+        let mut acc = 0u64;
+        for i in 0..4096u64 {
+            acc ^= r.read_bits(((i % 63) + 1) as u32).expect("in range");
+        }
+        acc
     });
-    group.finish();
 }
 
-fn bench_residual_coder(c: &mut Criterion) {
+fn bench_residual_coder(bench: &mut Bench) {
     let values = jacobian_stream(65_536);
     let residuals: Vec<u64> = values
         .windows(2)
         .map(|w| w[0].to_bits() ^ w[1].to_bits())
         .collect();
-    let mut group = c.benchmark_group("residual");
-    group.throughput(Throughput::Bytes(8 * residuals.len() as u64));
-    group.bench_function("encode", |b| {
-        b.iter(|| {
-            let mut stats = CompressStats::new();
-            let mut w = BitWriter::with_capacity(residuals.len());
-            let mut st = ResidualState::new();
-            for &r in &residuals {
-                encode_residual(&mut w, &mut st, r, &mut stats);
-            }
-            w.into_bytes()
-        })
+    let mut group = bench.group("residual");
+    group.throughput_bytes(8 * residuals.len() as u64);
+    group.bench("encode", || {
+        let mut stats = CompressStats::new();
+        let mut w = BitWriter::with_capacity(residuals.len());
+        let mut st = ResidualState::new();
+        for &r in &residuals {
+            encode_residual(&mut w, &mut st, r, &mut stats);
+        }
+        w.into_bytes()
     });
     let mut stats = CompressStats::new();
     let mut w = BitWriter::new();
@@ -77,21 +71,18 @@ fn bench_residual_coder(c: &mut Criterion) {
         encode_residual(&mut w, &mut st, r, &mut stats);
     }
     let bytes = w.into_bytes();
-    group.bench_function("decode", |b| {
-        b.iter(|| {
-            let mut r = BitReader::new(&bytes);
-            let mut st = ResidualState::new();
-            let mut acc = 0u64;
-            for _ in 0..residuals.len() {
-                acc ^= decode_residual(&mut r, &mut st).expect("valid");
-            }
-            acc
-        })
+    group.bench("decode", || {
+        let mut r = BitReader::new(&bytes);
+        let mut st = ResidualState::new();
+        let mut acc = 0u64;
+        for _ in 0..residuals.len() {
+            acc ^= decode_residual(&mut r, &mut st).expect("valid");
+        }
+        acc
     });
-    group.finish();
 }
 
-fn bench_masc_matrix(c: &mut Criterion) {
+fn bench_masc_matrix(bench: &mut Bench) {
     // A banded pattern like a mid-size circuit.
     let n = 2000usize;
     let mut t = TripletMatrix::new(n, n);
@@ -106,41 +97,39 @@ fn bench_masc_matrix(c: &mut Criterion) {
     let cur = jacobian_stream(nnz);
     let reference: Vec<f64> = cur.iter().map(|v| v * (1.0 + 1e-9)).collect();
 
-    let mut group = c.benchmark_group("masc_matrix");
-    group.throughput(Throughput::Bytes(8 * nnz as u64));
+    let mut group = bench.group("masc_matrix");
+    group.throughput_bytes(8 * nnz as u64);
     for (label, config) in [
         ("bestfit", MascConfig::default().with_markov(false)),
         ("markov", MascConfig::default()),
     ] {
-        group.bench_with_input(BenchmarkId::new("compress", label), &config, |b, cfg| {
-            b.iter(|| compress_matrix(&cur, &reference, &maps, cfg))
+        group.bench(&format!("compress/{label}"), || {
+            compress_matrix(&cur, &reference, &maps, &config)
         });
         let (bytes, _) = compress_matrix(&cur, &reference, &maps, &config);
-        group.bench_with_input(BenchmarkId::new("decompress", label), &bytes, |b, bytes| {
-            b.iter(|| decompress_matrix(bytes, &reference, &maps).expect("valid"))
+        group.bench(&format!("decompress/{label}"), || {
+            decompress_matrix(black_box(&bytes), &reference, &maps).expect("valid")
         });
     }
-    group.finish();
 }
 
-fn bench_baselines(c: &mut Criterion) {
+fn bench_baselines(bench: &mut Bench) {
     let values = jacobian_stream(32_768);
-    let mut group = c.benchmark_group("baselines");
-    group.throughput(Throughput::Bytes(8 * values.len() as u64));
-    group.sample_size(20);
+    let mut group = bench.group("baselines");
+    group.throughput_bytes(8 * values.len() as u64);
+    group.sample_size(10);
     for compressor in all_baselines() {
-        group.bench_function(BenchmarkId::new("compress", compressor.name()), |b| {
-            b.iter(|| compressor.compress(&values))
+        group.bench(&format!("compress/{}", compressor.name()), || {
+            compressor.compress(&values)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_bitio,
-    bench_residual_coder,
-    bench_masc_matrix,
-    bench_baselines
-);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_bitio(&mut bench);
+    bench_residual_coder(&mut bench);
+    bench_masc_matrix(&mut bench);
+    bench_baselines(&mut bench);
+    bench.finish();
+}

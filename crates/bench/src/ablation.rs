@@ -70,7 +70,9 @@ pub fn variants_for(dataset: &Dataset) -> Vec<Variant> {
         masc_variant(
             dataset,
             "no sign inversion",
-            MascConfig::default().with_markov(false).with_sign_invert(false),
+            MascConfig::default()
+                .with_markov(false)
+                .with_sign_invert(false),
         ),
     ];
     let chimp = ChimpLike::new();

@@ -1,15 +1,33 @@
 fn main() {
-    let spec = masc_datasets::registry::table2_datasets().into_iter().find(|s| s.name=="smult20").unwrap();
+    let spec = masc_datasets::registry::table2_datasets()
+        .into_iter()
+        .find(|s| s.name == "smult20")
+        .unwrap();
     let (mut ckt, tran) = spec.build_circuit(1.0);
     let t0 = std::time::Instant::now();
     let mut sys = ckt.elaborate().unwrap();
     println!("n = {}", sys.n);
-    let dc = masc_circuit::dc::dc_operating_point(&ckt, &mut sys, &masc_circuit::NewtonOptions::default());
-    println!("dc: {:?} in {:.1}s", dc.as_ref().map(|d| (d.stats.iterations, d.gmin_stages)).map_err(|e| e.to_string()), t0.elapsed().as_secs_f64());
+    let dc = masc_circuit::dc::dc_operating_point(
+        &ckt,
+        &mut sys,
+        &masc_circuit::NewtonOptions::default(),
+    );
+    println!(
+        "dc: {:?} in {:.1}s",
+        dc.as_ref()
+            .map(|d| (d.stats.iterations, d.gmin_stages))
+            .map_err(|e| e.to_string()),
+        t0.elapsed().as_secs_f64()
+    );
     let t0 = std::time::Instant::now();
     let r = masc_circuit::transient::transient(&ckt, &mut sys, &tran, &mut masc_circuit::NullSink);
     match r {
-        Ok(r) => println!("tran: {} steps, {} newton iters, {:.1}s", r.stats.steps, r.stats.newton_iterations, t0.elapsed().as_secs_f64()),
+        Ok(r) => println!(
+            "tran: {} steps, {} newton iters, {:.1}s",
+            r.stats.steps,
+            r.stats.newton_iterations,
+            t0.elapsed().as_secs_f64()
+        ),
         Err(e) => println!("tran failed: {e}"),
     }
 }

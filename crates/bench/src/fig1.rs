@@ -77,7 +77,15 @@ pub fn render(points: &[Point]) -> String {
         })
         .collect();
     render_table(
-        &["#Elem", "#Unk", "#Steps", "CSR(MB)", "Shared(MB)", "MASC(MB)", "Reduction"],
+        &[
+            "#Elem",
+            "#Unk",
+            "#Steps",
+            "CSR(MB)",
+            "Shared(MB)",
+            "MASC(MB)",
+            "Reduction",
+        ],
         &data,
     )
 }

@@ -75,8 +75,8 @@ pub fn render(histograms: &[Histogram]) -> String {
         .collect();
     render_table(
         &[
-            "Dataset", "zero(64)", "lz 0-7", "8-15", "16-23", "24-31", "32-39", "40-47",
-            "48-55", "56-63",
+            "Dataset", "zero(64)", "lz 0-7", "8-15", "16-23", "24-31", "32-39", "40-47", "48-55",
+            "56-63",
         ],
         &data,
     )

@@ -68,7 +68,10 @@ pub fn run(config: &Config) -> Vec<Bar> {
                 bandwidth: Some(config.disk_bandwidth),
             },
         ),
-        ("MASC (compressed)", StoreConfig::Compressed(MascConfig::default())),
+        (
+            "MASC (compressed)",
+            StoreConfig::Compressed(MascConfig::default()),
+        ),
         ("Raw memory (upper bound)", StoreConfig::RawMemory),
     ];
     let mut bars = Vec::new();
@@ -110,11 +113,7 @@ pub fn run(config: &Config) -> Vec<Bar> {
 
 /// Renders the bars, normalized to the recompute baseline.
 pub fn render(bars: &[Bar]) -> String {
-    let baseline = bars
-        .first()
-        .map(|b| b.total_s)
-        .unwrap_or(1.0)
-        .max(1e-12);
+    let baseline = bars.first().map(|b| b.total_s).unwrap_or(1.0).max(1e-12);
     let data: Vec<Vec<String>> = bars
         .iter()
         .map(|b| {
@@ -129,7 +128,9 @@ pub fn render(bars: &[Bar]) -> String {
         })
         .collect();
     render_table(
-        &["Store", "Fwd(s)", "Rev(s)", "Total(s)", "Speedup", "Peak(MB)"],
+        &[
+            "Store", "Fwd(s)", "Rev(s)", "Total(s)", "Speedup", "Peak(MB)",
+        ],
         &data,
     )
 }

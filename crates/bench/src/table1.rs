@@ -76,11 +76,9 @@ pub fn run(scale: f64) -> Vec<Row> {
 
         // Xyce-like sensitivity: one reverse sweep per objective, with
         // Jacobian recomputation on every sweep.
-        let run = run_xyce_like(&mut circuit, &tran, &objectives, &params)
-            .expect("adjoint runs");
+        let run = run_xyce_like(&mut circuit, &tran, &objectives, &params).expect("adjoint runs");
         let sens_s = run.sensitivities.stats.total_time.as_secs_f64();
-        let jac_fraction =
-            run.sensitivities.stats.recompute_time.as_secs_f64() / sens_s.max(1e-12);
+        let jac_fraction = run.sensitivities.stats.recompute_time.as_secs_f64() / sens_s.max(1e-12);
 
         rows.push(Row {
             name: spec.name.to_string(),
@@ -119,8 +117,16 @@ pub fn render(rows: &[Row]) -> String {
         .collect();
     render_table(
         &[
-            "Circuit", "Type", "#Elem", "#Param", "#Obj", "#Steps", "Tran(s)", "Sens(s)",
-            "Sens/Tran", "Jac/Sens",
+            "Circuit",
+            "Type",
+            "#Elem",
+            "#Param",
+            "#Obj",
+            "#Steps",
+            "Tran(s)",
+            "Sens(s)",
+            "Sens/Tran",
+            "Jac/Sens",
         ],
         &data,
     )

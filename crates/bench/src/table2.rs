@@ -78,7 +78,15 @@ pub fn render(rows: &[Row]) -> String {
         })
         .collect();
     render_table(
-        &["Dataset", "#CirElem", "#Steps", "S_CSR(MB)", "S_NZ(MB)", "CR(gzip)", "T_comp(gzip)"],
+        &[
+            "Dataset",
+            "#CirElem",
+            "#Steps",
+            "S_CSR(MB)",
+            "S_NZ(MB)",
+            "CR(gzip)",
+            "T_comp(gzip)",
+        ],
         &data,
     )
 }

@@ -40,15 +40,14 @@ fn dataset_cache_dir() -> std::path::PathBuf {
 /// Runs MASC's tensor path over a dataset and returns the measurement.
 pub fn masc_cell(dataset: &Dataset, config: &MascConfig) -> Cell {
     let start = Instant::now();
-    let compress_series = |pattern: &std::sync::Arc<masc_sparse::Pattern>,
-                           series: &[Vec<f64>]|
-     -> CompressedTensor {
-        let mut tc = TensorCompressor::new(pattern.clone(), config.clone());
-        for m in series {
-            tc.push(m);
-        }
-        tc.finish()
-    };
+    let compress_series =
+        |pattern: &std::sync::Arc<masc_sparse::Pattern>, series: &[Vec<f64>]| -> CompressedTensor {
+            let mut tc = TensorCompressor::new(pattern.clone(), config.clone());
+            for m in series {
+                tc.push(m);
+            }
+            tc.finish()
+        };
     let g = compress_series(&dataset.g_pattern, &dataset.g_series);
     let c = compress_series(&dataset.c_pattern, &dataset.c_series);
     let comp_s = start.elapsed().as_secs_f64();
@@ -143,7 +142,11 @@ pub fn run(scale: f64) -> Vec<Row> {
             );
             let t0 = std::time::Instant::now();
             let row = row_for(&dataset);
-            eprintln!("  {}: compressors done in {:.1}s", spec.name, t0.elapsed().as_secs_f64());
+            eprintln!(
+                "  {}: compressors done in {:.1}s",
+                spec.name,
+                t0.elapsed().as_secs_f64()
+            );
             row
         })
         .collect()
@@ -212,7 +215,11 @@ mod tests {
         }
         // MASC (pattern-aware) must beat the pattern-blind NDZIP-style
         // baseline, which the paper measures near 1×.
-        let masc = row.cells.iter().find(|(n, _)| n == "MASC w/o Markov").unwrap();
+        let masc = row
+            .cells
+            .iter()
+            .find(|(n, _)| n == "MASC w/o Markov")
+            .unwrap();
         let ndzip = row.cells.iter().find(|(n, _)| n == "NdzipLike").unwrap();
         assert!(
             masc.1.ratio > ndzip.1.ratio,

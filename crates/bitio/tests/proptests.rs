@@ -1,19 +1,21 @@
-//! Property-based tests for bit I/O and varint coding.
+//! Property-based tests for bit I/O and varint coding (masc-testkit).
 
 use masc_bitio::{varint, BitReader, BitWriter};
-use proptest::prelude::*;
+use masc_testkit::gen::{self, Gen};
+use masc_testkit::{prop, prop_assert, prop_assert_eq};
 
 /// An arbitrary (value, width) pair with the value masked to the width.
-fn bits_strategy() -> impl Strategy<Value = (u64, u32)> {
-    (any::<u64>(), 1u32..=64).prop_map(|(v, n)| {
+fn bits() -> impl Gen<Value = (u64, u32)> {
+    gen::from_fn(|rng| {
+        let n = rng.range_u32(1, 65);
+        let v = rng.next_u64();
         let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
         (masked, n)
     })
 }
 
-proptest! {
-    #[test]
-    fn bit_sequences_round_trip(items in proptest::collection::vec(bits_strategy(), 0..200)) {
+prop! {
+    fn bit_sequences_round_trip(items in gen::vecs(bits(), 0..200)) {
         let mut w = BitWriter::new();
         for &(v, n) in &items {
             w.write_bits(v, n);
@@ -27,9 +29,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn interleaved_bits_and_words(bools in proptest::collection::vec(any::<bool>(), 0..64),
-                                  words in proptest::collection::vec(any::<u64>(), 0..16)) {
+    fn interleaved_bits_and_words(bools in gen::vecs(gen::bools(), 0..64),
+                                  words in gen::vecs(gen::u64s(), 0..16)) {
         let mut w = BitWriter::new();
         for (i, &b) in bools.iter().enumerate() {
             w.write_bit(b);
@@ -47,9 +48,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn append_equals_inline(first in proptest::collection::vec(bits_strategy(), 0..50),
-                            second in proptest::collection::vec(bits_strategy(), 0..50)) {
+    fn append_equals_inline(first in gen::vecs(bits(), 0..50),
+                            second in gen::vecs(bits(), 0..50)) {
         let mut inline = BitWriter::new();
         for &(v, n) in first.iter().chain(&second) {
             inline.write_bits(v, n);
@@ -68,8 +68,7 @@ proptest! {
         prop_assert_eq!(stitched.into_bytes(), inline.into_bytes());
     }
 
-    #[test]
-    fn varint_round_trip(v in any::<u64>()) {
+    fn varint_round_trip(v in gen::u64s()) {
         let mut buf = Vec::new();
         varint::write_u64(&mut buf, v);
         let (decoded, used) = varint::read_u64(&buf).unwrap();
@@ -77,19 +76,16 @@ proptest! {
         prop_assert_eq!(used, buf.len());
     }
 
-    #[test]
-    fn zigzag_round_trip(v in any::<i64>()) {
+    fn zigzag_round_trip(v in gen::i64s()) {
         prop_assert_eq!(varint::zigzag_decode(varint::zigzag_encode(v)), v);
     }
 
-    #[test]
-    fn deltas_round_trip(values in proptest::collection::vec(0usize..1_000_000_000, 0..300)) {
+    fn deltas_round_trip(values in gen::vecs(gen::range_usize(0, 1_000_000_000), 0..300)) {
         let buf = varint::encode_deltas(&values);
         prop_assert_eq!(varint::decode_deltas(&buf).unwrap(), values);
     }
 
-    #[test]
-    fn sorted_deltas_are_compact(gaps in proptest::collection::vec(0usize..64, 1..300)) {
+    fn sorted_deltas_are_compact(gaps in gen::vecs(gen::range_usize(0, 64), 1..300)) {
         let mut values = Vec::with_capacity(gaps.len());
         let mut acc = 0usize;
         for g in gaps {
@@ -101,4 +97,44 @@ proptest! {
         // the length header is ≤ 5 bytes here.
         prop_assert!(buf.len() <= values.len() + 5);
     }
+}
+
+/// Adversarial fixed cases the random sweep might miss.
+#[test]
+fn varint_boundary_values_round_trip() {
+    for v in [
+        0u64,
+        1,
+        127,
+        128,
+        16_383,
+        16_384,
+        u64::from(u32::MAX),
+        u64::MAX - 1,
+        u64::MAX,
+    ] {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let (decoded, used) = varint::read_u64(&buf).unwrap();
+        assert_eq!(decoded, v);
+        assert_eq!(used, buf.len());
+    }
+}
+
+#[test]
+fn varint_empty_and_truncated_inputs_are_errors() {
+    assert!(varint::read_u64(&[]).is_err());
+    // A continuation byte with no terminator.
+    assert!(varint::read_u64(&[0x80]).is_err());
+    let mut buf = Vec::new();
+    varint::write_u64(&mut buf, u64::MAX);
+    for cut in 0..buf.len() {
+        assert!(varint::read_u64(&buf[..cut]).is_err(), "cut at {cut}");
+    }
+}
+
+#[test]
+fn empty_delta_list_round_trips() {
+    let buf = varint::encode_deltas(&[]);
+    assert_eq!(varint::decode_deltas(&buf).unwrap(), Vec::<usize>::new());
 }

@@ -555,9 +555,19 @@ mod tests {
     fn duplicate_device_rejected() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add(Device::Resistor(Resistor::new("R1", a.unknown(), None, 1.0)))
-            .unwrap();
-        let err = ckt.add(Device::Resistor(Resistor::new("R1", a.unknown(), None, 2.0)));
+        ckt.add(Device::Resistor(Resistor::new(
+            "R1",
+            a.unknown(),
+            None,
+            1.0,
+        )))
+        .unwrap();
+        let err = ckt.add(Device::Resistor(Resistor::new(
+            "R1",
+            a.unknown(),
+            None,
+            2.0,
+        )));
         assert!(matches!(err, Err(CircuitError::DuplicateDevice(_))));
     }
 
@@ -617,8 +627,13 @@ mod tests {
     fn capacitor_contributes_to_union_pattern() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add(Device::Resistor(Resistor::new("R1", a.unknown(), None, 1.0)))
-            .unwrap();
+        ckt.add(Device::Resistor(Resistor::new(
+            "R1",
+            a.unknown(),
+            None,
+            1.0,
+        )))
+        .unwrap();
         ckt.add(Device::Capacitor(Capacitor::new(
             "C1",
             a.unknown(),

@@ -114,7 +114,7 @@ pub fn dc_operating_point(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::devices::{Bjt, Device, Diode, Mosfet, MosPolarity, Resistor, VoltageSource};
+    use crate::devices::{Bjt, Device, Diode, MosPolarity, Mosfet, Resistor, VoltageSource};
     use crate::waveform::Waveform;
 
     fn solve(ckt: &mut Circuit) -> (DcSolution, System) {

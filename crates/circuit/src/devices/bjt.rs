@@ -304,7 +304,15 @@ mod tests {
     use super::*;
     use masc_sparse::TripletMatrix;
 
-    fn eval_at(bjt: &Bjt, x: &[f64; 3]) -> (Vec<f64>, Vec<f64>, masc_sparse::CsrMatrix, masc_sparse::CsrMatrix) {
+    fn eval_at(
+        bjt: &Bjt,
+        x: &[f64; 3],
+    ) -> (
+        Vec<f64>,
+        Vec<f64>,
+        masc_sparse::CsrMatrix,
+        masc_sparse::CsrMatrix,
+    ) {
         let mut gt = TripletMatrix::new(3, 3);
         let mut ct = TripletMatrix::new(3, 3);
         {

@@ -153,7 +153,8 @@ impl DeviceImpl for Vcvs {
         ctx.add_g(self.a, br, 1.0);
         ctx.add_g(self.b, br, -1.0);
         // Branch: (va − vb) − gain·(vcp − vcn) = 0.
-        let v = ctx.value(self.a) - ctx.value(self.b)
+        let v = ctx.value(self.a)
+            - ctx.value(self.b)
             - self.gain * (ctx.value(self.cp) - ctx.value(self.cn));
         ctx.add_f(br, v);
         ctx.add_g(br, self.a, 1.0);

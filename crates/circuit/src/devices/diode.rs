@@ -79,8 +79,8 @@ impl Diode {
             let f1 = vj / (1.0 - m) * (1.0 - (1.0 - FC).powf(1.0 - m));
             let f2 = (1.0 - FC).powf(1.0 + m);
             let f3 = 1.0 - FC * (1.0 + m);
-            let q = cj0 * f1
-                + cj0 / f2 * (f3 * (vd - fcv) + m / (2.0 * vj) * (vd * vd - fcv * fcv));
+            let q =
+                cj0 * f1 + cj0 / f2 * (f3 * (vd - fcv) + m / (2.0 * vj) * (vd * vd - fcv * fcv));
             let c = cj0 / f2 * (f3 + m * vd / vj);
             (q, c)
         }

@@ -23,7 +23,7 @@ pub use bjt::{Bjt, BjtPolarity};
 pub use controlled::{Vccs, Vcvs};
 pub use diode::Diode;
 pub use linear::{Capacitor, Inductor, Resistor};
-pub use mosfet::{Mosfet, MosPolarity};
+pub use mosfet::{MosPolarity, Mosfet};
 pub use sources::{CurrentSource, VoltageSource};
 
 use crate::stamp::{EvalContext, ParamDerivContext, Reserver, Unknown};

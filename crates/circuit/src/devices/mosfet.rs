@@ -256,8 +256,7 @@ impl DeviceImpl for Mosfet {
                 hi.set_param(i, v0 + eps);
                 let mut lo = self.clone();
                 lo.set_param(i, v0 - eps);
-                let d_id =
-                    (hi.current(vd, vg, vs).0 - lo.current(vd, vg, vs).0) / (2.0 * eps);
+                let d_id = (hi.current(vd, vg, vs).0 - lo.current(vd, vg, vs).0) / (2.0 * eps);
                 ctx.add_df(d, d_id);
                 ctx.add_df(s, -d_id);
             }
@@ -336,15 +335,24 @@ mod tests {
         ] {
             let (_, dvd, dvg, dvs) = m.current(vd, vg, vs);
             let eps = 1e-7;
-            let fd_vd = (m.current(vd + eps, vg, vs).0 - m.current(vd - eps, vg, vs).0)
-                / (2.0 * eps);
-            let fd_vg = (m.current(vd, vg + eps, vs).0 - m.current(vd, vg - eps, vs).0)
-                / (2.0 * eps);
-            let fd_vs = (m.current(vd, vg, vs + eps).0 - m.current(vd, vg, vs - eps).0)
-                / (2.0 * eps);
-            assert!((dvd - fd_vd).abs() < 1e-5 * (1.0 + fd_vd.abs()), "dvd at ({vd},{vg},{vs})");
-            assert!((dvg - fd_vg).abs() < 1e-5 * (1.0 + fd_vg.abs()), "dvg at ({vd},{vg},{vs})");
-            assert!((dvs - fd_vs).abs() < 1e-5 * (1.0 + fd_vs.abs()), "dvs at ({vd},{vg},{vs})");
+            let fd_vd =
+                (m.current(vd + eps, vg, vs).0 - m.current(vd - eps, vg, vs).0) / (2.0 * eps);
+            let fd_vg =
+                (m.current(vd, vg + eps, vs).0 - m.current(vd, vg - eps, vs).0) / (2.0 * eps);
+            let fd_vs =
+                (m.current(vd, vg, vs + eps).0 - m.current(vd, vg, vs - eps).0) / (2.0 * eps);
+            assert!(
+                (dvd - fd_vd).abs() < 1e-5 * (1.0 + fd_vd.abs()),
+                "dvd at ({vd},{vg},{vs})"
+            );
+            assert!(
+                (dvg - fd_vg).abs() < 1e-5 * (1.0 + fd_vg.abs()),
+                "dvg at ({vd},{vg},{vs})"
+            );
+            assert!(
+                (dvs - fd_vs).abs() < 1e-5 * (1.0 + fd_vs.abs()),
+                "dvs at ({vd},{vg},{vs})"
+            );
         }
     }
 

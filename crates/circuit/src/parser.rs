@@ -24,7 +24,7 @@
 
 use crate::circuit::Circuit;
 use crate::devices::{
-    Bjt, BjtPolarity, Capacitor, CurrentSource, Device, Diode, Inductor, Mosfet, MosPolarity,
+    Bjt, BjtPolarity, Capacitor, CurrentSource, Device, Diode, Inductor, MosPolarity, Mosfet,
     Resistor, Vccs, Vcvs, VoltageSource,
 };
 use crate::transient::TranOptions;
@@ -123,8 +123,12 @@ fn parse_waveform(tokens: &[String], line: usize) -> Result<Waveform, ParseNetli
     let joined = tokens.join(" ");
     let upper = joined.to_ascii_uppercase();
     let args_of = |name: &str| -> Result<Vec<f64>, ParseNetlistError> {
-        let open = upper.find('(').ok_or_else(|| err(line, format!("{name} needs (")))?;
-        let close = upper.rfind(')').ok_or_else(|| err(line, format!("{name} needs )")))?;
+        let open = upper
+            .find('(')
+            .ok_or_else(|| err(line, format!("{name} needs (")))?;
+        let close = upper
+            .rfind(')')
+            .ok_or_else(|| err(line, format!("{name} needs )")))?;
         joined[open + 1..close]
             .split([' ', ','])
             .filter(|s| !s.is_empty())
@@ -165,9 +169,7 @@ fn parse_waveform(tokens: &[String], line: usize) -> Result<Waveform, ParseNetli
         let points = a.chunks(2).map(|p| (p[0], p[1])).collect();
         Ok(Waveform::Pwl(points))
     } else if upper.starts_with("DC") {
-        let value = tokens
-            .get(1)
-            .ok_or_else(|| err(line, "DC needs a value"))?;
+        let value = tokens.get(1).ok_or_else(|| err(line, "DC needs a value"))?;
         Ok(Waveform::Dc(parse_value(value).map_err(|m| err(line, m))?))
     } else {
         Ok(Waveform::Dc(
@@ -237,7 +239,10 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
         // SPICE treats the first line as a title; we accept element cards
         // there too, falling back to title only when the line does not
         // parse as an element.
-        let known = matches!(kind, 'R' | 'C' | 'L' | 'V' | 'I' | 'D' | 'Q' | 'M' | 'G' | 'E');
+        let known = matches!(
+            kind,
+            'R' | 'C' | 'L' | 'V' | 'I' | 'D' | 'Q' | 'M' | 'G' | 'E'
+        );
         if !known {
             if is_first && title.is_none() {
                 title = Some(line.clone());
@@ -256,125 +261,129 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
         let name = head.to_string();
         // Snapshot so a failed first-line parse (title text that happens to
         // start with an element letter) does not leave stray nodes behind.
-        let snapshot = if is_first { Some(circuit.clone()) } else { None };
+        let snapshot = if is_first {
+            Some(circuit.clone())
+        } else {
+            None
+        };
         let parsed: Result<Device, ParseNetlistError> = (|| {
             let device = match kind {
-            'R' | 'C' | 'L' => {
-                need(4)?;
-                let a = circuit.node(tokens[1]).unknown();
-                let b = circuit.node(tokens[2]).unknown();
-                let value = parse_value(tokens[3]).map_err(|m| err(lineno, m))?;
-                if value <= 0.0 {
-                    return Err(err(lineno, format!("{head}: value must be positive")));
-                }
-                match kind {
-                    'R' => Device::Resistor(Resistor::new(name, a, b, value)),
-                    'C' => Device::Capacitor(Capacitor::new(name, a, b, value)),
-                    _ => Device::Inductor(Inductor::new(name, a, b, value)),
-                }
-            }
-            'G' | 'E' => {
-                need(6)?;
-                let a = circuit.node(tokens[1]).unknown();
-                let b = circuit.node(tokens[2]).unknown();
-                let cp = circuit.node(tokens[3]).unknown();
-                let cn = circuit.node(tokens[4]).unknown();
-                let value = parse_value(tokens[5]).map_err(|m| err(lineno, m))?;
-                if kind == 'G' {
-                    Device::Vccs(Vccs::new(name, a, b, cp, cn, value))
-                } else {
-                    Device::Vcvs(Vcvs::new(name, a, b, cp, cn, value))
-                }
-            }
-            'V' | 'I' => {
-                need(4)?;
-                let a = circuit.node(tokens[1]).unknown();
-                let b = circuit.node(tokens[2]).unknown();
-                let rest: Vec<String> = tokens[3..].iter().map(|s| s.to_string()).collect();
-                let wave = parse_waveform(&rest, lineno)?;
-                if kind == 'V' {
-                    Device::VoltageSource(VoltageSource::new(name, a, b, wave))
-                } else {
-                    Device::CurrentSource(CurrentSource::new(name, a, b, wave))
-                }
-            }
-            'D' => {
-                need(3)?;
-                let a = circuit.node(tokens[1]).unknown();
-                let c = circuit.node(tokens[2]).unknown();
-                let (_, kv) = split_kv(&tokens[3..]);
-                let mut d = Diode::new(name, a, c);
-                for (k, v) in kv {
-                    let value = parse_value(&v).map_err(|m| err(lineno, m))?;
-                    match k.as_str() {
-                        "is" => d.is_sat = value,
-                        "n" => d.n_emission = value,
-                        "cj0" => d.cj0 = value,
-                        "vj" => d.vj = value,
-                        "m" => d.mj = value,
-                        _ => return Err(err(lineno, format!("unknown diode param {k}"))),
+                'R' | 'C' | 'L' => {
+                    need(4)?;
+                    let a = circuit.node(tokens[1]).unknown();
+                    let b = circuit.node(tokens[2]).unknown();
+                    let value = parse_value(tokens[3]).map_err(|m| err(lineno, m))?;
+                    if value <= 0.0 {
+                        return Err(err(lineno, format!("{head}: value must be positive")));
+                    }
+                    match kind {
+                        'R' => Device::Resistor(Resistor::new(name, a, b, value)),
+                        'C' => Device::Capacitor(Capacitor::new(name, a, b, value)),
+                        _ => Device::Inductor(Inductor::new(name, a, b, value)),
                     }
                 }
-                Device::Diode(d)
-            }
-            'Q' => {
-                need(4)?;
-                let c = circuit.node(tokens[1]).unknown();
-                let b = circuit.node(tokens[2]).unknown();
-                let e = circuit.node(tokens[3]).unknown();
-                let (plain, kv) = split_kv(&tokens[4..]);
-                let mut q = Bjt::new(name, c, b, e);
-                match plain.first().map(|s| s.to_ascii_uppercase()) {
-                    Some(ref m) if m == "PNP" => q.polarity = BjtPolarity::Pnp,
-                    Some(ref m) if m == "NPN" => {}
-                    None => {}
-                    Some(other) => {
-                        return Err(err(lineno, format!("unknown bjt model {other}")))
+                'G' | 'E' => {
+                    need(6)?;
+                    let a = circuit.node(tokens[1]).unknown();
+                    let b = circuit.node(tokens[2]).unknown();
+                    let cp = circuit.node(tokens[3]).unknown();
+                    let cn = circuit.node(tokens[4]).unknown();
+                    let value = parse_value(tokens[5]).map_err(|m| err(lineno, m))?;
+                    if kind == 'G' {
+                        Device::Vccs(Vccs::new(name, a, b, cp, cn, value))
+                    } else {
+                        Device::Vcvs(Vcvs::new(name, a, b, cp, cn, value))
                     }
                 }
-                for (k, v) in kv {
-                    let value = parse_value(&v).map_err(|m| err(lineno, m))?;
-                    match k.as_str() {
-                        "is" => q.is_sat = value,
-                        "bf" => q.beta_f = value,
-                        "br" => q.beta_r = value,
-                        "tf" => q.tf = value,
-                        "tr" => q.tr = value,
-                        _ => return Err(err(lineno, format!("unknown bjt param {k}"))),
+                'V' | 'I' => {
+                    need(4)?;
+                    let a = circuit.node(tokens[1]).unknown();
+                    let b = circuit.node(tokens[2]).unknown();
+                    let rest: Vec<String> = tokens[3..].iter().map(|s| s.to_string()).collect();
+                    let wave = parse_waveform(&rest, lineno)?;
+                    if kind == 'V' {
+                        Device::VoltageSource(VoltageSource::new(name, a, b, wave))
+                    } else {
+                        Device::CurrentSource(CurrentSource::new(name, a, b, wave))
                     }
                 }
-                Device::Bjt(q)
-            }
-            'M' => {
-                need(4)?;
-                let d = circuit.node(tokens[1]).unknown();
-                let g = circuit.node(tokens[2]).unknown();
-                let s = circuit.node(tokens[3]).unknown();
-                let (plain, kv) = split_kv(&tokens[4..]);
-                let polarity = match plain.first().map(|s| s.to_ascii_uppercase()) {
-                    Some(ref p) if p == "PMOS" => MosPolarity::Pmos,
-                    Some(ref p) if p == "NMOS" => MosPolarity::Nmos,
-                    None => MosPolarity::Nmos,
-                    Some(other) => {
-                        return Err(err(lineno, format!("unknown mosfet model {other}")))
+                'D' => {
+                    need(3)?;
+                    let a = circuit.node(tokens[1]).unknown();
+                    let c = circuit.node(tokens[2]).unknown();
+                    let (_, kv) = split_kv(&tokens[3..]);
+                    let mut d = Diode::new(name, a, c);
+                    for (k, v) in kv {
+                        let value = parse_value(&v).map_err(|m| err(lineno, m))?;
+                        match k.as_str() {
+                            "is" => d.is_sat = value,
+                            "n" => d.n_emission = value,
+                            "cj0" => d.cj0 = value,
+                            "vj" => d.vj = value,
+                            "m" => d.mj = value,
+                            _ => return Err(err(lineno, format!("unknown diode param {k}"))),
+                        }
                     }
-                };
-                let mut m = Mosfet::new(name, d, g, s, polarity);
-                for (k, v) in kv {
-                    let value = parse_value(&v).map_err(|m| err(lineno, m))?;
-                    match k.as_str() {
-                        "kp" => m.kp = value,
-                        "vt0" => m.vt0 = value,
-                        "lambda" => m.lambda = value,
-                        "w" => m.w = value,
-                        "l" => m.l = value,
-                        "cgs" => m.cgs = value,
-                        "cgd" => m.cgd = value,
-                        _ => return Err(err(lineno, format!("unknown mosfet param {k}"))),
-                    }
+                    Device::Diode(d)
                 }
-                Device::Mosfet(m)
-            }
+                'Q' => {
+                    need(4)?;
+                    let c = circuit.node(tokens[1]).unknown();
+                    let b = circuit.node(tokens[2]).unknown();
+                    let e = circuit.node(tokens[3]).unknown();
+                    let (plain, kv) = split_kv(&tokens[4..]);
+                    let mut q = Bjt::new(name, c, b, e);
+                    match plain.first().map(|s| s.to_ascii_uppercase()) {
+                        Some(ref m) if m == "PNP" => q.polarity = BjtPolarity::Pnp,
+                        Some(ref m) if m == "NPN" => {}
+                        None => {}
+                        Some(other) => {
+                            return Err(err(lineno, format!("unknown bjt model {other}")))
+                        }
+                    }
+                    for (k, v) in kv {
+                        let value = parse_value(&v).map_err(|m| err(lineno, m))?;
+                        match k.as_str() {
+                            "is" => q.is_sat = value,
+                            "bf" => q.beta_f = value,
+                            "br" => q.beta_r = value,
+                            "tf" => q.tf = value,
+                            "tr" => q.tr = value,
+                            _ => return Err(err(lineno, format!("unknown bjt param {k}"))),
+                        }
+                    }
+                    Device::Bjt(q)
+                }
+                'M' => {
+                    need(4)?;
+                    let d = circuit.node(tokens[1]).unknown();
+                    let g = circuit.node(tokens[2]).unknown();
+                    let s = circuit.node(tokens[3]).unknown();
+                    let (plain, kv) = split_kv(&tokens[4..]);
+                    let polarity = match plain.first().map(|s| s.to_ascii_uppercase()) {
+                        Some(ref p) if p == "PMOS" => MosPolarity::Pmos,
+                        Some(ref p) if p == "NMOS" => MosPolarity::Nmos,
+                        None => MosPolarity::Nmos,
+                        Some(other) => {
+                            return Err(err(lineno, format!("unknown mosfet model {other}")))
+                        }
+                    };
+                    let mut m = Mosfet::new(name, d, g, s, polarity);
+                    for (k, v) in kv {
+                        let value = parse_value(&v).map_err(|m| err(lineno, m))?;
+                        match k.as_str() {
+                            "kp" => m.kp = value,
+                            "vt0" => m.vt0 = value,
+                            "lambda" => m.lambda = value,
+                            "w" => m.w = value,
+                            "l" => m.l = value,
+                            "cgs" => m.cgs = value,
+                            "cgd" => m.cgd = value,
+                            _ => return Err(err(lineno, format!("unknown mosfet param {k}"))),
+                        }
+                    }
+                    Device::Mosfet(m)
+                }
                 _ => unreachable!("filtered above"),
             };
             Ok(device)

@@ -368,8 +368,8 @@ mod tests {
         let opts = TranOptions::new(3.0 * period, period / 400.0);
         let result = transient(&ckt, &mut sys, &opts, &mut NullSink).unwrap();
         let wave = result.waveform(2); // v(out)
-        // DC starts at 1.0 (inductor shorts at DC) — look for ringing
-        // around 1.0 and measure the first two upward crossings.
+                                       // DC starts at 1.0 (inductor shorts at DC) — look for ringing
+                                       // around 1.0 and measure the first two upward crossings.
         let mut crossings = Vec::new();
         for k in 1..wave.len() {
             if wave[k - 1] < 1.0 && wave[k] >= 1.0 {

@@ -85,9 +85,7 @@ impl Waveform {
                     *vo
                 } else {
                     let dt = t - td;
-                    vo + va
-                        * (2.0 * std::f64::consts::PI * freq * dt).sin()
-                        * (-theta * dt).exp()
+                    vo + va * (2.0 * std::f64::consts::PI * freq * dt).sin() * (-theta * dt).exp()
                 }
             }
             Waveform::Pwl(points) => {

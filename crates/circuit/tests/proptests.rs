@@ -1,103 +1,104 @@
-//! Property tests on simulator physics invariants.
+//! Property tests on simulator physics invariants (masc-testkit).
 
 use masc_circuit::devices::{
     Capacitor, CurrentSource, Device, Diode, Resistor, Vccs, VoltageSource,
 };
 use masc_circuit::transient::{transient, NullSink, TranOptions};
 use masc_circuit::{Circuit, Waveform};
-use proptest::prelude::*;
+use masc_testkit::gen::{self, Gen};
+use masc_testkit::{prop, prop_assert};
 
-/// Builds a random multi-device circuit over `n` nodes. Every node gets a
+/// Builds a random multi-device circuit over 6 nodes. Every node gets a
 /// resistor to ground so the DC point exists.
-fn circuit_strategy() -> impl Strategy<Value = Circuit> {
-    let n = 6usize;
-    (
-        proptest::collection::vec((0usize..n, 0usize..n, 10.0f64..1e5), 3..12),
-        proptest::collection::vec((0usize..n, 0usize..n, 1e-13f64..1e-9), 0..6),
-        proptest::collection::vec((0usize..n, 0usize..n), 0..3),
-        proptest::collection::vec((0usize..n, 0usize..n, 1e-5f64..1e-3), 0..3),
-        0.5f64..5.0,
-    )
-        .prop_map(move |(resistors, caps, diodes, trans, vin)| {
-            let mut ckt = Circuit::new();
-            let node = |ckt: &mut Circuit, i: usize| ckt.node(&format!("n{i}")).unknown();
-            let input = ckt.node("n0").unknown();
-            ckt.add(Device::VoltageSource(VoltageSource::new(
-                "V1",
-                input,
+fn circuits() -> impl Gen<Value = Circuit> {
+    gen::from_fn(|rng| {
+        let n = 6usize;
+        let mut ckt = Circuit::new();
+        let node = |ckt: &mut Circuit, i: usize| ckt.node(&format!("n{i}")).unknown();
+        let input = ckt.node("n0").unknown();
+        let vin = rng.range_f64(0.5, 5.0);
+        ckt.add(Device::VoltageSource(VoltageSource::new(
+            "V1",
+            input,
+            None,
+            Waveform::Sin {
+                vo: 0.0,
+                va: vin,
+                freq: 1e6,
+                td: 0.0,
+                theta: 0.0,
+            },
+        )))
+        .expect("fresh");
+        for i in 0..n {
+            let a = node(&mut ckt, i);
+            ckt.add(Device::Resistor(Resistor::new(
+                format!("RG{i}"),
+                a,
                 None,
-                Waveform::Sin {
-                    vo: 0.0,
-                    va: vin,
-                    freq: 1e6,
-                    td: 0.0,
-                    theta: 0.0,
-                },
+                10e3,
             )))
-            .expect("fresh");
-            for i in 0..6 {
-                let a = node(&mut ckt, i);
-                ckt.add(Device::Resistor(Resistor::new(
-                    format!("RG{i}"),
-                    a,
-                    None,
-                    10e3,
-                )))
+            .expect("unique");
+        }
+        for k in 0..rng.range_usize(3, 12) {
+            let (a, b) = (rng.range_usize(0, n), rng.range_usize(0, n));
+            if a == b {
+                continue;
+            }
+            let r = rng.range_f64(10.0, 1e5);
+            let (a, b) = (node(&mut ckt, a), node(&mut ckt, b));
+            ckt.add(Device::Resistor(Resistor::new(format!("R{k}"), a, b, r)))
                 .expect("unique");
+        }
+        for k in 0..rng.range_usize(0, 6) {
+            let (a, b) = (rng.range_usize(0, n), rng.range_usize(0, n));
+            if a == b {
+                continue;
             }
-            for (k, (a, b, r)) in resistors.into_iter().enumerate() {
-                if a == b {
-                    continue;
-                }
-                let (a, b) = (node(&mut ckt, a), node(&mut ckt, b));
-                ckt.add(Device::Resistor(Resistor::new(format!("R{k}"), a, b, r)))
-                    .expect("unique");
-            }
-            for (k, (a, b, c)) in caps.into_iter().enumerate() {
-                if a == b {
-                    continue;
-                }
-                let (a, b) = (node(&mut ckt, a), node(&mut ckt, b));
-                ckt.add(Device::Capacitor(Capacitor::new(format!("C{k}"), a, b, c)))
-                    .expect("unique");
-            }
-            for (k, (a, b)) in diodes.into_iter().enumerate() {
-                if a == b {
-                    continue;
-                }
-                let (a, b) = (node(&mut ckt, a), node(&mut ckt, b));
-                let mut d = Diode::new(format!("D{k}"), a, b);
-                d.cj0 = 1e-12;
-                ckt.add(Device::Diode(d)).expect("unique");
-            }
-            for (k, (d, g, gm)) in trans.into_iter().enumerate() {
-                if d == g {
-                    continue;
-                }
-                let (d, g) = (node(&mut ckt, d), node(&mut ckt, g));
-                ckt.add(Device::Vccs(Vccs::new(
-                    format!("GT{k}"),
-                    d,
-                    None,
-                    g,
-                    None,
-                    gm,
-                )))
+            let c = rng.range_f64(1e-13, 1e-9);
+            let (a, b) = (node(&mut ckt, a), node(&mut ckt, b));
+            ckt.add(Device::Capacitor(Capacitor::new(format!("C{k}"), a, b, c)))
                 .expect("unique");
+        }
+        for k in 0..rng.range_usize(0, 3) {
+            let (a, b) = (rng.range_usize(0, n), rng.range_usize(0, n));
+            if a == b {
+                continue;
             }
-            ckt
-        })
+            let (a, b) = (node(&mut ckt, a), node(&mut ckt, b));
+            let mut d = Diode::new(format!("D{k}"), a, b);
+            d.cj0 = 1e-12;
+            ckt.add(Device::Diode(d)).expect("unique");
+        }
+        for k in 0..rng.range_usize(0, 3) {
+            let (d, g) = (rng.range_usize(0, n), rng.range_usize(0, n));
+            if d == g {
+                continue;
+            }
+            let gm = rng.range_f64(1e-5, 1e-3);
+            let (d, g) = (node(&mut ckt, d), node(&mut ckt, g));
+            ckt.add(Device::Vccs(Vccs::new(
+                format!("GT{k}"),
+                d,
+                None,
+                g,
+                None,
+                gm,
+            )))
+            .expect("unique");
+        }
+        ckt
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop! {
+    #![cases = 24]
 
     /// Kirchhoff's current law: at any state, the static currents `f` plus
     /// sources `b` summed over every node *and* ground must vanish — each
     /// device injects equal and opposite currents.
-    #[test]
-    fn device_currents_conserve_charge(mut ckt in circuit_strategy(),
-                                       voltages in proptest::collection::vec(-3.0f64..3.0, 8)) {
+    fn device_currents_conserve_charge(mut ckt in circuits(),
+                                       voltages in gen::vecs(gen::range_f64(-3.0, 3.0), 8..9)) {
         let mut sys = ckt.elaborate().expect("elaborates");
         let mut ev = sys.new_evaluation();
         let mut x = vec![0.0; sys.n];
@@ -126,9 +127,10 @@ proptest! {
 
     /// Two-terminal devices between internal nodes inject exactly opposite
     /// currents (strict KCL pairing).
-    #[test]
-    fn two_terminal_currents_cancel(va in -2.0f64..2.0, vb in -2.0f64..2.0,
-                                    r in 10.0f64..1e6, c in 1e-13f64..1e-9) {
+    fn two_terminal_currents_cancel(va in gen::range_f64(-2.0, 2.0),
+                                    vb in gen::range_f64(-2.0, 2.0),
+                                    r in gen::range_f64(10.0, 1e6),
+                                    c in gen::range_f64(1e-13, 1e-9)) {
         let mut ckt = Circuit::new();
         let a = ckt.node("a").unknown();
         let b = ckt.node("b").unknown();
@@ -150,5 +152,14 @@ proptest! {
         prop_assert!(rel(ev.q[0], ev.q[1]), "q: {} vs {}", ev.q[0], ev.q[1]);
         prop_assert!(rel(ev.f[0], ev.f[1]), "f: {} vs {}", ev.f[0], ev.f[1]);
         prop_assert!(rel(ev.b[0], ev.b[1]), "b: {} vs {}", ev.b[0], ev.b[1]);
+    }
+
+    /// Every deck from the testkit netlist generator parses and elaborates.
+    fn generated_netlists_parse_and_elaborate(deck in gen::netlists(6)) {
+        let parsed = masc_circuit::parser::parse_netlist(&deck).expect("parses");
+        let mut circuit = parsed.circuit;
+        prop_assert!(parsed.tran.is_some(), ".tran card survives parsing");
+        let sys = circuit.elaborate().expect("elaborates");
+        prop_assert!(sys.n > 0);
     }
 }

@@ -184,8 +184,7 @@ mod tests {
 
     #[test]
     fn repeated_text_finds_matches() {
-        let data = b"the quick brown fox. the quick brown fox. the quick brown fox."
-            .to_vec();
+        let data = b"the quick brown fox. the quick brown fox. the quick brown fox.".to_vec();
         let tokens = round_trip(&data);
         let matched: u32 = tokens
             .iter()
@@ -203,7 +202,11 @@ mod tests {
         let data = vec![0xAAu8; 10_000];
         let tokens = round_trip(&data);
         // A run compresses to a literal plus overlapping matches.
-        assert!(tokens.len() < 60, "runs should compress, got {} tokens", tokens.len());
+        assert!(
+            tokens.len() < 60,
+            "runs should compress, got {} tokens",
+            tokens.len()
+        );
     }
 
     #[test]

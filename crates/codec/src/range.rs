@@ -247,11 +247,7 @@ impl<'a> RangeDecoder<'a> {
     /// # Panics
     ///
     /// Panics if `models.len() < (1 << n) - 1` or `n > 16`.
-    pub fn decode_bits_tree(
-        &mut self,
-        models: &mut [BitModel],
-        n: u32,
-    ) -> Result<u32, CodecError> {
+    pub fn decode_bits_tree(&mut self, models: &mut [BitModel], n: u32) -> Result<u32, CodecError> {
         assert!(n <= 16);
         let mut ctx = 1usize;
         for _ in 0..n {
@@ -333,7 +329,11 @@ mod tests {
         }
         let bytes = enc.finish();
         // 100k bits = 12.5 kB raw; skewed stream should be ≪ that.
-        assert!(bytes.len() < 3000, "range coder produced {} bytes", bytes.len());
+        assert!(
+            bytes.len() < 3000,
+            "range coder produced {} bytes",
+            bytes.len()
+        );
         let mut model = BitModel::new();
         let mut dec = RangeDecoder::new(&bytes).unwrap();
         for &b in &bits {

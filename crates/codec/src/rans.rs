@@ -136,7 +136,9 @@ pub fn decode(packed: &[u8]) -> Result<Vec<u8>, CodecError> {
         return Ok(Vec::new());
     }
     if total != u64::from(SCALE) {
-        return Err(CodecError::Corrupt("rans frequency table does not sum to scale"));
+        return Err(CodecError::Corrupt(
+            "rans frequency table does not sum to scale",
+        ));
     }
     let mut cum = [0u32; 257];
     for s in 0..256 {
@@ -229,7 +231,10 @@ mod tests {
         raw[1] = 1_000_000_000;
         raw[200] = 3;
         let q = quantize_freqs(&raw);
-        assert_eq!(q.iter().map(|&f| u64::from(f)).sum::<u64>(), u64::from(SCALE));
+        assert_eq!(
+            q.iter().map(|&f| u64::from(f)).sum::<u64>(),
+            u64::from(SCALE)
+        );
         assert!(q[0] >= 1 && q[200] >= 1);
     }
 
@@ -240,7 +245,10 @@ mod tests {
             *r = (i as u64 % 17) + 1;
         }
         let q = quantize_freqs(&raw);
-        assert_eq!(q.iter().map(|&f| u64::from(f)).sum::<u64>(), u64::from(SCALE));
+        assert_eq!(
+            q.iter().map(|&f| u64::from(f)).sum::<u64>(),
+            u64::from(SCALE)
+        );
         assert!(q.iter().all(|&f| f >= 1));
     }
 

@@ -96,7 +96,11 @@ mod tests {
     fn all_zero_is_tiny() {
         let words = vec![0u64; 100_000];
         let packed = encode_words(&words);
-        assert!(packed.len() < 16, "all-zero packed to {} bytes", packed.len());
+        assert!(
+            packed.len() < 16,
+            "all-zero packed to {} bytes",
+            packed.len()
+        );
         assert_eq!(decode_words(&packed).unwrap(), words);
     }
 
@@ -140,9 +144,6 @@ mod tests {
         let mut packed = Vec::new();
         varint::write_u64(&mut packed, 1);
         varint::write_u64(&mut packed, 5);
-        assert!(matches!(
-            decode_words(&packed),
-            Err(CodecError::Corrupt(_))
-        ));
+        assert!(matches!(decode_words(&packed), Err(CodecError::Corrupt(_))));
     }
 }

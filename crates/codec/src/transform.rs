@@ -73,7 +73,11 @@ pub const BLOCK: usize = 64;
 ///
 /// Panics if `block.len() != 64`.
 pub fn transpose_bits(block: &mut [u64]) {
-    assert_eq!(block.len(), BLOCK, "bit transposition needs exactly 64 words");
+    assert_eq!(
+        block.len(),
+        BLOCK,
+        "bit transposition needs exactly 64 words"
+    );
     let mut out = [0u64; BLOCK];
     for (i, &w) in block.iter().enumerate() {
         let mut w = w;
@@ -152,7 +156,9 @@ mod tests {
 
     #[test]
     fn transpose_is_involution() {
-        let mut block: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let mut block: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let original = block.clone();
         transpose_bits(&mut block);
         assert_ne!(block, original);

@@ -106,9 +106,7 @@ impl From<masc_bitio::varint::VarintError> for CompressError {
     fn from(e: masc_bitio::varint::VarintError) -> Self {
         match e {
             masc_bitio::varint::VarintError::Truncated => CompressError::Truncated,
-            masc_bitio::varint::VarintError::Overflow => {
-                CompressError::Corrupt("varint overflow")
-            }
+            masc_bitio::varint::VarintError::Overflow => CompressError::Corrupt("varint overflow"),
         }
     }
 }

@@ -167,11 +167,7 @@ pub(crate) fn decode_range(
 }
 
 /// Writes the common stream header; returns the buffer.
-pub(crate) fn write_header(
-    values: &[f64],
-    config: &MascConfig,
-    extra_flags: u8,
-) -> Vec<u8> {
+pub(crate) fn write_header(values: &[f64], config: &MascConfig, extra_flags: u8) -> Vec<u8> {
     let mut header = Vec::with_capacity(24);
     let mut flags = extra_flags;
     if config.markov {
@@ -279,7 +275,16 @@ pub fn compress_matrix(
     let mut out = write_header(values, config, 0);
     let params = HeaderParams::from_config(config);
     let mut w = BitWriter::with_capacity(nnz / 2 + 64);
-    encode_range(&mut w, values, reference, maps, &params, 0..nnz, 0, &mut stats);
+    encode_range(
+        &mut w,
+        values,
+        reference,
+        maps,
+        &params,
+        0..nnz,
+        0,
+        &mut stats,
+    );
     out.extend_from_slice(&w.into_bytes());
     stats.output_bytes = out.len() as u64;
     (out, stats)
@@ -563,13 +568,17 @@ mod tests {
             &cur,
             &reference,
             &maps,
-            &MascConfig::default().with_markov(false).with_sign_invert(true),
+            &MascConfig::default()
+                .with_markov(false)
+                .with_sign_invert(true),
         );
         let (without_bytes, _) = compress_matrix(
             &cur,
             &reference,
             &maps,
-            &MascConfig::default().with_markov(false).with_sign_invert(false),
+            &MascConfig::default()
+                .with_markov(false)
+                .with_sign_invert(false),
         );
         assert!(
             with_bytes.len() < without_bytes.len(),

@@ -59,23 +59,30 @@ pub fn compress_matrix_parallel(
     let mut encoded: Vec<(Vec<u8>, CompressStats)> = Vec::with_capacity(ranges.len());
     if threads <= 1 || ranges.len() <= 1 {
         for range in &ranges {
-            encoded.push(encode_chunk(values, reference, maps, &params, range.clone()));
+            encoded.push(encode_chunk(
+                values,
+                reference,
+                maps,
+                &params,
+                range.clone(),
+            ));
         }
     } else {
         let mut slots: Vec<Option<(Vec<u8>, CompressStats)>> = vec![None; ranges.len()];
-        crossbeam::thread::scope(|scope| {
-            for (tid, slot_chunk) in slots.chunks_mut(ranges.len().div_ceil(threads)).enumerate() {
+        let per = ranges.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (tid, slot_chunk) in slots.chunks_mut(per).enumerate() {
                 let ranges = &ranges;
-                let base = tid * ranges.len().div_ceil(threads);
-                scope.spawn(move |_| {
+                let params = &params;
+                let base = tid * per;
+                scope.spawn(move || {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
                         let range = ranges[base + off].clone();
-                        *slot = Some(encode_chunk(values, reference, maps, &params, range));
+                        *slot = Some(encode_chunk(values, reference, maps, params, range));
                     }
                 });
             }
-        })
-        .expect("compression worker panicked");
+        });
         encoded.extend(slots.into_iter().map(|s| s.expect("all chunks encoded")));
     }
 
@@ -107,7 +114,14 @@ fn encode_chunk(
     let chunk_start = range.start;
     let mut w = BitWriter::with_capacity(range.len() / 2 + 16);
     encode_range(
-        &mut w, values, reference, maps, params, range, chunk_start, &mut stats,
+        &mut w,
+        values,
+        reference,
+        maps,
+        params,
+        range,
+        chunk_start,
+        &mut stats,
     );
     (w.into_bytes(), stats)
 }
@@ -163,20 +177,27 @@ pub fn decompress_matrix_parallel(
     if threads <= 1 || ranges.len() <= 1 {
         for (i, range) in ranges.iter().enumerate() {
             let payload = &bytes[offsets[i]..offsets[i] + lens[i]];
-            decode_chunk_into(&mut out, payload, reference, maps, &header.params, range.clone())?;
+            decode_chunk_into(
+                &mut out,
+                payload,
+                reference,
+                maps,
+                &header.params,
+                range.clone(),
+            )?;
         }
     } else {
         // Workers decode into compact per-chunk buffers; scatter after.
         let per = ranges.len().div_ceil(threads);
-        let results = crossbeam::thread::scope(
-            |scope| -> Vec<Result<Vec<(usize, Vec<f64>)>, CompressError>> {
+        let results: Vec<Result<Vec<(usize, Vec<f64>)>, CompressError>> =
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for tid in 0..threads {
                     let ranges = &ranges;
                     let lens = &lens;
                     let offsets = &offsets;
                     let params = &header.params;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut local = Vec::new();
                         let mut scratch = vec![0.0f64; nnz];
                         for i in (tid * per)..((tid + 1) * per).min(ranges.len()) {
@@ -198,10 +219,11 @@ pub fn decompress_matrix_parallel(
                         Ok(local)
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            },
-        )
-        .expect("decompression scope failed");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
         for result in results {
             for (i, compact) in result? {
                 for (p, v) in ranges[i].clone().zip(compact) {
@@ -354,9 +376,7 @@ mod tests {
         };
         let (bytes, _) = compress_matrix_parallel(&cur, &reference, &maps, &config);
         for cut in [0, 3, bytes.len() - 1] {
-            assert!(
-                decompress_matrix_parallel(&bytes[..cut], &reference, &maps, &config).is_err()
-            );
+            assert!(decompress_matrix_parallel(&bytes[..cut], &reference, &maps, &config).is_err());
         }
     }
 

@@ -370,7 +370,7 @@ mod tests {
         current[k01] = 42.0;
         let c = m.candidates(k11, &reference, &current, true, 0);
         assert_eq!(c[3], 42.0); // last value = (2,0) of the current matrix
-        // First lower nz in the row has no predecessor → temporal fallback.
+                                // First lower nz in the row has no predecessor → temporal fallback.
         let c0 = m.candidates(k01, &reference, &current, true, 0);
         assert_eq!(c0[3], reference[k01]);
     }
@@ -447,8 +447,8 @@ mod tests {
         let reference = vec![1.0; p.nnz()];
         let current = vec![9.0; p.nnz()];
         let k = p.find(0, 1).unwrap(); // an Upper element, late in order
-        // With the chunk starting at this element's own position, every
-        // current-matrix partner is out of reach → all temporal.
+                                       // With the chunk starting at this element's own position, every
+                                       // current-matrix partner is out of reach → all temporal.
         let pos = m.order_pos_of(k);
         let c = m.candidates(k, &reference, &current, true, pos);
         assert_eq!(c, [1.0; 4]);

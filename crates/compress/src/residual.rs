@@ -103,7 +103,10 @@ impl std::fmt::Display for ResidualError {
         match self {
             ResidualError::Truncated(e) => write!(f, "residual stream truncated: {e}"),
             ResidualError::OrphanSharedWindow { bit_pos } => {
-                write!(f, "shared-window flag with no prior window at bit {bit_pos}")
+                write!(
+                    f,
+                    "shared-window flag with no prior window at bit {bit_pos}"
+                )
             }
         }
     }
@@ -165,7 +168,11 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         let mut st = ResidualState::new();
         for (i, &res) in residuals.iter().enumerate() {
-            assert_eq!(decode_residual(&mut r, &mut st).unwrap(), res, "residual {i}");
+            assert_eq!(
+                decode_residual(&mut r, &mut st).unwrap(),
+                res,
+                "residual {i}"
+            );
         }
         (bytes, stats)
     }

@@ -104,12 +104,20 @@ impl TensorCompressor {
     ///
     /// Panics if `values.len()` differs from the pattern's nnz.
     pub fn push(&mut self, values: &[f64]) {
-        assert_eq!(values.len(), self.pattern.nnz(), "value count != pattern nnz");
+        assert_eq!(
+            values.len(),
+            self.pattern.nnz(),
+            "value count != pattern nnz"
+        );
         let newest = values.to_vec();
         if let Some(prev) = self.pending.replace(newest) {
             let start = Instant::now();
-            let (bytes, stats) =
-                compress_dispatch(&prev, self.pending.as_ref().expect("just set"), &self.maps, &self.config);
+            let (bytes, stats) = compress_dispatch(
+                &prev,
+                self.pending.as_ref().expect("just set"),
+                &self.maps,
+                &self.config,
+            );
             self.compress_time += start.elapsed();
             self.stats.merge(&stats);
             self.blocks.push(bytes);
@@ -232,7 +240,8 @@ impl CompressedTensor {
         let mut out = vec![Vec::new(); self.blocks.len()];
         let mut reference = vec![0.0; self.pattern.nnz()];
         for t in (0..self.blocks.len()).rev() {
-            let values = decompress_dispatch(&self.blocks[t], &reference, &self.maps, &self.config)?;
+            let values =
+                decompress_dispatch(&self.blocks[t], &reference, &self.maps, &self.config)?;
             reference.copy_from_slice(&values);
             out[t] = values;
         }

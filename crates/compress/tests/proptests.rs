@@ -1,65 +1,53 @@
 //! Property tests: the MASC compressor's central claim is *bit-exact
-//! losslessness* for arbitrary values over arbitrary patterns.
+//! losslessness* for arbitrary values over arbitrary patterns
+//! (masc-testkit).
 
 use masc_compress::{
     compress_matrix, compress_matrix_parallel, decompress_matrix, decompress_matrix_parallel,
-    MascConfig, StampMaps, TensorCompressor,
+    CompressError, MascConfig, StampMaps, TensorCompressor,
 };
 use masc_sparse::{Pattern, TripletMatrix};
-use proptest::prelude::*;
+use masc_testkit::gen::{self, Gen};
+use masc_testkit::rng::Rng;
+use masc_testkit::{prop, prop_assert_eq};
 use std::sync::Arc;
 
 /// Arbitrary sparse square patterns (mix of symmetric and ragged).
-fn pattern_strategy() -> impl Strategy<Value = Arc<Pattern>> {
-    (2usize..20, proptest::collection::vec((0usize..20, 0usize..20), 1..80)).prop_map(
-        |(n, coords)| {
-            let mut t = TripletMatrix::new(n, n);
-            for i in 0..n {
-                t.add(i, i, 0.0); // diagonals usually exist in MNA
-            }
-            for (r, c) in coords {
-                t.add(r % n, c % n, 0.0);
-            }
-            t.to_csr().pattern().clone()
-        },
-    )
+fn patterns() -> impl Gen<Value = Arc<Pattern>> {
+    gen::sparse_coords(2..20, 80).map(|(n, coords)| {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.add(i, i, 0.0); // diagonals usually exist in MNA
+        }
+        for (r, c) in coords {
+            t.add(r, c, 0.0);
+        }
+        t.to_csr().pattern().clone()
+    })
 }
 
 /// Value vectors including special floats.
-fn values_strategy(nnz: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => any::<f64>(),
-            2 => -1e3f64..1e3,
-            1 => Just(0.0f64),
-            1 => Just(f64::NAN),
-            1 => Just(f64::INFINITY),
-            1 => Just(-0.0f64),
-        ],
-        nnz,
-    )
+fn values(nnz: usize) -> impl Gen<Value = Vec<f64>> {
+    gen::vecs(gen::f64_payloads(), nnz..nnz + 1)
 }
 
-fn config_strategy() -> impl Strategy<Value = MascConfig> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), 1usize..40).prop_map(
-        |(markov, sign_invert, checksum, min_warmup)| MascConfig {
-            markov,
-            markov_min_warmup: min_warmup,
-            sign_invert_diag: sign_invert,
-            checksum,
-            ..MascConfig::default()
-        },
-    )
+fn configs() -> impl Gen<Value = MascConfig> {
+    gen::from_fn(|rng| MascConfig {
+        markov: rng.bool(),
+        markov_min_warmup: rng.range_usize(1, 40),
+        sign_invert_diag: rng.bool(),
+        checksum: rng.bool(),
+        ..MascConfig::default()
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop! {
+    #![cases = 64]
 
-    #[test]
     fn matrix_round_trip_is_bit_exact(
-        (pattern, values, reference, config) in pattern_strategy().prop_flat_map(|p| {
+        (pattern, values, reference, config) in patterns().flat_map(|p| {
             let nnz = p.nnz();
-            (Just(p), values_strategy(nnz), values_strategy(nnz), config_strategy())
+            (gen::just(p), values(nnz), values(nnz), configs())
         })
     ) {
         let maps = StampMaps::new(&pattern);
@@ -71,11 +59,16 @@ proptest! {
         }
     }
 
-    #[test]
     fn chunked_round_trip_is_bit_exact(
-        (pattern, values, reference, chunk, threads) in pattern_strategy().prop_flat_map(|p| {
+        (pattern, values, reference, chunk, threads) in patterns().flat_map(|p| {
             let nnz = p.nnz();
-            (Just(p), values_strategy(nnz), values_strategy(nnz), 1usize..30, 1usize..4)
+            (
+                gen::just(p),
+                values(nnz),
+                values(nnz),
+                gen::range_usize(1, 30),
+                gen::range_usize(1, 4),
+            )
         })
     ) {
         let maps = StampMaps::new(&pattern);
@@ -92,12 +85,43 @@ proptest! {
         }
     }
 
-    #[test]
-    fn tensor_backward_replay_is_exact(
-        (pattern, series) in pattern_strategy().prop_flat_map(|p| {
+    /// Determinism: the chunked stream must be byte-identical for any
+    /// worker count, and the serial decoder must reject it with a
+    /// structured error (never a panic).
+    fn chunked_stream_is_thread_count_invariant(
+        (pattern, values, reference, chunk) in patterns().flat_map(|p| {
             let nnz = p.nnz();
-            let series = proptest::collection::vec(values_strategy(nnz), 1..8);
-            (Just(p), series)
+            (gen::just(p), values(nnz), values(nnz), gen::range_usize(1, 40))
+        })
+    ) {
+        let maps = StampMaps::new(&pattern);
+        let base = MascConfig {
+            chunk_size: chunk,
+            threads: 1,
+            markov_min_warmup: 4,
+            ..MascConfig::default()
+        };
+        let (serial_bytes, _) = compress_matrix_parallel(&values, &reference, &maps, &base);
+        for threads in [2usize, 3, 8] {
+            let config = MascConfig { threads, ..base.clone() };
+            let (bytes, _) = compress_matrix_parallel(&values, &reference, &maps, &config);
+            prop_assert_eq!(
+                &bytes, &serial_bytes,
+                "threads={} changed the stream", threads
+            );
+        }
+        // The serial decoder sees FLAG_CHUNKED and returns Corrupt.
+        match decompress_matrix(&serial_bytes, &reference, &maps) {
+            Err(CompressError::Corrupt(_)) => {}
+            other => panic!("serial decoder on chunked stream: {other:?}"),
+        }
+    }
+
+    fn tensor_backward_replay_is_exact(
+        (pattern, series) in patterns().flat_map(|p| {
+            let nnz = p.nnz();
+            let series = gen::vecs(values(nnz), 1..8);
+            (gen::just(p), series)
         })
     ) {
         let mut tc = TensorCompressor::new(pattern, MascConfig {
@@ -121,13 +145,11 @@ proptest! {
         prop_assert_eq!(step_expect, 0);
     }
 
-    #[test]
     fn truncation_never_panics(
-        (pattern, values) in pattern_strategy().prop_flat_map(|p| {
+        (pattern, values, cut_frac) in patterns().flat_map(|p| {
             let nnz = p.nnz();
-            (Just(p), values_strategy(nnz))
-        }),
-        cut_frac in 0.0f64..1.0
+            (gen::just(p), values(nnz), gen::range_f64(0.0, 1.0))
+        })
     ) {
         let maps = StampMaps::new(&pattern);
         let reference = vec![0.0; values.len()];
@@ -136,5 +158,25 @@ proptest! {
         // Either a clean error or (for cuts in the zero-padded tail) a
         // successful decode — never a panic.
         let _ = decompress_matrix(&bytes[..cut.min(bytes.len())], &reference, &maps);
+    }
+}
+
+/// The mirror-image format check: the chunked decoder must reject a serial
+/// stream with a structured error, not a panic.
+#[test]
+fn chunked_decoder_rejects_serial_stream_with_structured_error() {
+    let mut rng = Rng::new(0x434B_4644);
+    let g = patterns();
+    for _ in 0..16 {
+        let pattern = g.generate(&mut rng);
+        let maps = StampMaps::new(&pattern);
+        let vals: Vec<f64> = (0..pattern.nnz()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let reference = vec![0.0; vals.len()];
+        let config = MascConfig::default();
+        let (serial, _) = compress_matrix(&vals, &reference, &maps, &config);
+        match decompress_matrix_parallel(&serial, &reference, &maps, &config) {
+            Err(CompressError::Corrupt(_)) => {}
+            other => panic!("chunked decoder on serial stream: {other:?}"),
+        }
     }
 }

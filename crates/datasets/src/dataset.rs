@@ -70,11 +70,7 @@ impl Dataset {
 /// # Errors
 ///
 /// Returns [`TranError`] if the simulation fails.
-pub fn capture(
-    name: &str,
-    mut circuit: Circuit,
-    tran: &TranOptions,
-) -> Result<Dataset, TranError> {
+pub fn capture(name: &str, mut circuit: Circuit, tran: &TranOptions) -> Result<Dataset, TranError> {
     let elements = circuit.devices().len();
     let mut system = circuit
         .elaborate()

@@ -8,7 +8,7 @@
 //! strong temporal correlation, and a linear/nonlinear element mix.
 
 use masc_circuit::devices::{
-    Bjt, Capacitor, CurrentSource, Device, Diode, Mosfet, MosPolarity, Resistor, VoltageSource,
+    Bjt, Capacitor, CurrentSource, Device, Diode, MosPolarity, Mosfet, Resistor, VoltageSource,
 };
 use masc_circuit::{Circuit, Node, Waveform};
 

@@ -191,9 +191,8 @@ impl CsrMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         let rp = self.pattern.row_ptr();
         let ci = self.pattern.col_idx();
-        (0..self.rows()).flat_map(move |r| {
-            (rp[r]..rp[r + 1]).map(move |k| (r, ci[k], self.values[k]))
-        })
+        (0..self.rows())
+            .flat_map(move |r| (rp[r]..rp[r + 1]).map(move |k| (r, ci[k], self.values[k])))
     }
 
     /// Heap bytes of the value array (what MASC compresses per timestep).
@@ -293,7 +292,9 @@ mod tests {
         let triplets: Vec<_> = m.iter().collect();
         assert_eq!(triplets[0], (0, 0, 4.0));
         assert_eq!(triplets.len(), 7);
-        assert!(triplets.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        assert!(triplets
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
     }
 
     #[test]

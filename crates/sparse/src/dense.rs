@@ -240,7 +240,9 @@ mod tests {
         let mut a = DenseMatrix::zeros(n, n);
         let mut seed = 0x1234_5678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (1u64 << 31) as f64 - 0.5
         };
         for r in 0..n {

@@ -474,10 +474,7 @@ mod tests {
     #[test]
     fn requires_pivoting() {
         // Zero diagonal at (0,0): strict diagonal methods would die.
-        let a = csr_from(
-            &[(0, 0, 0.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.0)],
-            2,
-        );
+        let a = csr_from(&[(0, 0, 0.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.0)], 2);
         assert_solves(&a, &[2.0, 3.0]);
     }
 

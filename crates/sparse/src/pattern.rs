@@ -52,10 +52,14 @@ impl Pattern {
         col_idx: Vec<usize>,
     ) -> Result<Self, SparseError> {
         if row_ptr.len() != rows + 1 {
-            return Err(SparseError::InvalidPattern("row_ptr length must be rows + 1"));
+            return Err(SparseError::InvalidPattern(
+                "row_ptr length must be rows + 1",
+            ));
         }
         if row_ptr[0] != 0 || *row_ptr.last().expect("non-empty") != col_idx.len() {
-            return Err(SparseError::InvalidPattern("row_ptr endpoints inconsistent"));
+            return Err(SparseError::InvalidPattern(
+                "row_ptr endpoints inconsistent",
+            ));
         }
         for w in row_ptr.windows(2) {
             if w[0] > w[1] {
@@ -256,8 +260,7 @@ impl Pattern {
         if rp_end > bytes.len() {
             return Err(truncated);
         }
-        let row_ptr =
-            varint::decode_deltas(&bytes[pos..rp_end]).map_err(|_| truncated.clone())?;
+        let row_ptr = varint::decode_deltas(&bytes[pos..rp_end]).map_err(|_| truncated.clone())?;
         let col_idx = varint::decode_deltas(&bytes[rp_end..]).map_err(|_| truncated.clone())?;
         Self::new(rows as usize, cols as usize, row_ptr, col_idx)
     }
@@ -386,7 +389,12 @@ mod tests {
         }
         let p = Pattern::new(n, n, row_ptr, col_idx).unwrap();
         let bytes = p.to_compressed_bytes();
-        assert!(bytes.len() * 4 < p.index_bytes(), "{} vs {}", bytes.len(), p.index_bytes());
+        assert!(
+            bytes.len() * 4 < p.index_bytes(),
+            "{} vs {}",
+            bytes.len(),
+            p.index_bytes()
+        );
         assert_eq!(Pattern::from_compressed_bytes(&bytes).unwrap(), p);
     }
 

@@ -120,8 +120,7 @@ mod tests {
         // bandwidth; RCM should recover ~1.
         let n = 20usize;
         let relabel: Vec<usize> = (0..n).map(|i| (i * 7) % n).collect();
-        let edges: Vec<(usize, usize)> =
-            (0..n - 1).map(|i| (relabel[i], relabel[i + 1])).collect();
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (relabel[i], relabel[i + 1])).collect();
         let p = pattern_of(&edges, n);
         let natural_bw = bandwidth(&p, &natural_order(n));
         let rcm_bw = bandwidth(&p, &rcm_order(&p));

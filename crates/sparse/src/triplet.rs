@@ -123,7 +123,11 @@ impl FromIterator<(usize, usize, f64)> for TripletMatrix {
         let entries: Vec<_> = iter.into_iter().collect();
         let rows = entries.iter().map(|&(r, _, _)| r + 1).max().unwrap_or(0);
         let cols = entries.iter().map(|&(_, c, _)| c + 1).max().unwrap_or(0);
-        Self { rows, cols, entries }
+        Self {
+            rows,
+            cols,
+            entries,
+        }
     }
 }
 

@@ -1,19 +1,21 @@
-//! Property tests: sparse LU vs dense reference, pattern invariants.
+//! Property tests: sparse LU vs dense reference, pattern invariants
+//! (masc-testkit).
 
 use masc_sparse::{lu::LuOptions, CsrMatrix, LuFactors, Pattern, TripletMatrix};
-use proptest::prelude::*;
+use masc_testkit::gen::{self, Gen};
+use masc_testkit::rng::Rng;
+use masc_testkit::{prop, prop_assert, prop_assert_eq};
 
 /// Random diagonally-dominant sparse matrices (always solvable).
-fn matrix_strategy(n: usize) -> impl Strategy<Value = CsrMatrix> {
-    let offdiag = proptest::collection::vec(
-        ((0..n), (0..n), -1.0f64..1.0),
-        0..(3 * n),
-    );
-    offdiag.prop_map(move |entries| {
+fn matrices(n: usize) -> impl Gen<Value = CsrMatrix> {
+    gen::sparse_coords(n..n + 1, 3 * n).map(move |(_, coords)| {
+        // Re-derive deterministic values from the coordinates themselves so
+        // the map stays a pure function of the generated input.
         let mut t = TripletMatrix::new(n, n);
         let mut rowsum = vec![0.0f64; n];
-        for &(r, c, v) in &entries {
+        for (k, &(r, c)) in coords.iter().enumerate() {
             if r != c {
+                let v = ((k as f64) * 0.37 + 0.11).sin();
                 t.add(r, c, v);
                 rowsum[r] += v.abs();
             }
@@ -25,14 +27,20 @@ fn matrix_strategy(n: usize) -> impl Strategy<Value = CsrMatrix> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A matrix plus a compatible right-hand side.
+fn matrix_and_rhs(n: usize) -> impl Gen<Value = (CsrMatrix, Vec<f64>)> {
+    matrices(n).flat_map(move |a| {
+        (
+            gen::just(a),
+            gen::vecs(gen::range_f64(-10.0, 10.0), n..n + 1),
+        )
+    })
+}
 
-    #[test]
-    fn lu_solves_match_dense((a, b) in matrix_strategy(12).prop_flat_map(|a| {
-        let n = a.rows();
-        (Just(a), proptest::collection::vec(-10.0f64..10.0, n))
-    })) {
+prop! {
+    #![cases = 64]
+
+    fn lu_solves_match_dense((a, b) in matrix_and_rhs(12)) {
         let dense = a.to_dense();
         let x_ref = dense.solve(&b).expect("diagonally dominant is solvable");
         let lu = LuFactors::factor(&a).expect("sparse LU");
@@ -47,8 +55,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn lu_residual_is_small(a in matrix_strategy(20)) {
+    fn lu_residual_is_small(a in matrices(20)) {
         let n = a.rows();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
         for rcm in [false, true] {
@@ -61,8 +68,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn pattern_round_trips_and_maps_are_involutions(a in matrix_strategy(15)) {
+    fn pattern_round_trips_and_maps_are_involutions(a in matrices(15)) {
         let p = a.pattern();
         let bytes = p.to_compressed_bytes();
         let q = Pattern::from_compressed_bytes(&bytes).unwrap();
@@ -76,8 +82,7 @@ proptest! {
         prop_assert_eq!(part.upper.len() + part.lower.len() + part.diag.len(), p.nnz());
     }
 
-    #[test]
-    fn mul_vec_transpose_consistent(a in matrix_strategy(10)) {
+    fn mul_vec_transpose_consistent(a in matrices(10)) {
         // xᵀ(A y) == (Aᵀ x)ᵀ y for random x, y.
         let n = a.rows();
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 0.5).collect();
@@ -87,5 +92,25 @@ proptest! {
         let lhs: f64 = x.iter().zip(&ay).map(|(p, q)| p * q).sum();
         let rhs: f64 = atx.iter().zip(&y).map(|(p, q)| p * q).sum();
         prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+}
+
+/// Matrix sizes the random sweep keeps fixed: make sure the smallest cases
+/// hold too.
+#[test]
+fn tiny_matrices_factor_and_solve() {
+    let mut rng = Rng::new(0x5041_5253);
+    for n in 1..=4usize {
+        let g = matrices(n);
+        for _ in 0..20 {
+            let a = g.generate(&mut rng);
+            let b: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+            let lu = LuFactors::factor(&a).expect("solvable");
+            let x = lu.solve(&b);
+            let ax = a.mul_vec(&x);
+            for (l, r) in ax.iter().zip(&b) {
+                assert!((l - r).abs() < 1e-8, "n={n}: {l} vs {r}");
+            }
+        }
     }
 }

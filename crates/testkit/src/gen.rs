@@ -1,0 +1,626 @@
+//! Value generators for property tests.
+//!
+//! A [`Gen`] produces random values from an [`Rng`] and optionally proposes
+//! *shrink candidates* — simpler values the runner retries after a failure
+//! so reports show a minimal counterexample. Shrinking is generator-driven
+//! (a candidate comes from the generator that produced the value), so
+//! candidates never violate generator invariants; combinators that cannot
+//! soundly shrink (e.g. [`Gen::map`]) simply propose nothing.
+//!
+//! Domain generators for the MASC workspace live here too: adversarial
+//! `f64` payloads ([`f64_payloads`]), sparse CSR-style coordinate sets
+//! ([`sparse_coords`]), and SPICE netlist decks ([`netlists`]).
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// A random value generator with optional shrinking.
+pub trait Gen {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes simpler variants of a failing value (possibly empty).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f`. The result does not shrink
+    /// (mapping cannot be inverted to validate candidates).
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds each generated value into a generator-producing function —
+    /// the way to make one generator's parameters depend on another's
+    /// output (e.g. a value vector sized by a pattern's nnz).
+    fn flat_map<U, G2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        G2: Gen<Value = U>,
+        F: Fn(Self::Value) -> G2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the generator so heterogeneous generators of one value
+    /// type can share a container (see [`one_of`] / [`weighted`]).
+    fn boxed(self) -> BoxedGen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedGen {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// See [`Gen::map`].
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G, U, F> Gen for Map<G, F>
+where
+    G: Gen,
+    U: Clone + Debug,
+    F: Fn(G::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Gen::flat_map`].
+pub struct FlatMap<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G, U, G2, F> Gen for FlatMap<G, F>
+where
+    G: Gen,
+    U: Clone + Debug,
+    G2: Gen<Value = U>,
+    F: Fn(G::Value) -> G2,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng) -> U {
+        let first = self.inner.generate(rng);
+        (self.f)(first).generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable generator.
+pub struct BoxedGen<T> {
+    inner: Rc<dyn DynGen<T>>,
+}
+
+impl<T> Clone for BoxedGen<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+trait DynGen<T> {
+    fn dyn_generate(&self, rng: &mut Rng) -> T;
+    fn dyn_shrink(&self, value: &T) -> Vec<T>;
+}
+
+impl<G: Gen> DynGen<G::Value> for G {
+    fn dyn_generate(&self, rng: &mut Rng) -> G::Value {
+        self.generate(rng)
+    }
+
+    fn dyn_shrink(&self, value: &G::Value) -> Vec<G::Value> {
+        self.shrink(value)
+    }
+}
+
+impl<T: Clone + Debug> Gen for BoxedGen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.inner.dyn_shrink(value)
+    }
+}
+
+/// Generator built from a closure; the `from_fn` escape hatch.
+pub struct FnGen<T, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Clone + Debug, F: Fn(&mut Rng) -> T> Gen for FnGen<T, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Wraps an arbitrary closure as a (non-shrinking) generator.
+pub fn from_fn<T: Clone + Debug, F: Fn(&mut Rng) -> T>(f: F) -> FnGen<T, F> {
+    FnGen {
+        f,
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Always produces `value`.
+pub fn just<T: Clone + Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+/// See [`just`].
+#[derive(Clone)]
+pub struct Just<T>(T);
+
+impl<T: Clone + Debug> Gen for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform `bool`; shrinks `true` to `false`.
+pub fn bools() -> Bools {
+    Bools
+}
+
+/// See [`bools`].
+pub struct Bools;
+
+impl Gen for Bools {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.bool()
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+macro_rules! int_gen {
+    ($(#[$doc:meta])* $fn_name:ident, $ty_name:ident, $ty:ty) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> $ty_name {
+            $ty_name
+        }
+
+        #[doc = concat!("See [`", stringify!($fn_name), "`].")]
+        pub struct $ty_name;
+
+        impl Gen for $ty_name {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                rng.next_u64() as $ty
+            }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let v = *value;
+                [0 as $ty, v / 2, v / 16]
+                    .into_iter()
+                    .filter(|c| *c != v)
+                    .collect()
+            }
+        }
+    };
+}
+
+int_gen!(
+    /// Uniform `u64` over the full range; shrinks toward 0.
+    u64s, U64s, u64
+);
+int_gen!(
+    /// Uniform `i64` over the full range; shrinks toward 0.
+    i64s, I64s, i64
+);
+int_gen!(
+    /// Uniform `u8` over the full range; shrinks toward 0.
+    u8s, U8s, u8
+);
+
+/// Uniform `u64` in `[lo, hi)`; shrinks toward `lo`.
+pub fn range_u64(lo: u64, hi: u64) -> RangeU64 {
+    assert!(lo < hi, "empty range {lo}..{hi}");
+    RangeU64 { lo, hi }
+}
+
+/// See [`range_u64`].
+pub struct RangeU64 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Gen for RangeU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Rng) -> u64 {
+        rng.range_u64(self.lo, self.hi)
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let v = *value;
+        [self.lo, self.lo + (v - self.lo) / 2]
+            .into_iter()
+            .filter(|c| *c != v)
+            .collect()
+    }
+}
+
+/// Uniform `usize` in `[lo, hi)`; shrinks toward `lo`.
+pub fn range_usize(lo: usize, hi: usize) -> impl Gen<Value = usize> {
+    range_u64(lo as u64, hi as u64).map(|v| v as usize)
+}
+
+/// Uniform `u32` in `[lo, hi)`; shrinks toward `lo`.
+pub fn range_u32(lo: u32, hi: u32) -> impl Gen<Value = u32> {
+    range_u64(u64::from(lo), u64::from(hi)).map(|v| v as u32)
+}
+
+/// Uniform `u8` in `[lo, hi)`; shrinks toward `lo`.
+pub fn range_u8(lo: u8, hi: u8) -> impl Gen<Value = u8> {
+    range_u64(u64::from(lo), u64::from(hi)).map(|v| v as u8)
+}
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward `lo` and whole numbers.
+pub fn range_f64(lo: f64, hi: f64) -> RangeF64 {
+    assert!(lo < hi, "empty range {lo}..{hi}");
+    RangeF64 { lo, hi }
+}
+
+/// See [`range_f64`].
+pub struct RangeF64 {
+    lo: f64,
+    hi: f64,
+}
+
+impl Gen for RangeF64 {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        [self.lo, self.lo + (v - self.lo) / 2.0, v.trunc()]
+            .into_iter()
+            .filter(|c| *c != v && (self.lo..self.hi).contains(c))
+            .collect()
+    }
+}
+
+/// "Any" `f64`: uniform bit patterns, so NaNs, infinities, subnormals and
+/// both zeros all occur. Shrinks toward `0.0`.
+pub fn f64_bits() -> F64Bits {
+    F64Bits
+}
+
+/// See [`f64_bits`].
+pub struct F64Bits;
+
+impl Gen for F64Bits {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        [0.0f64, 1.0, v / 2.0]
+            .into_iter()
+            .filter(|c| c.to_bits() != v.to_bits())
+            .collect()
+    }
+}
+
+/// Adversarial `f64`s for codec tests: a weighted mix of arbitrary bit
+/// patterns, moderate reals, and the special values every float coder must
+/// survive — `NaN`, `±∞`, `±0.0`, subnormals, and extreme magnitudes.
+pub fn f64_payloads() -> BoxedGen<f64> {
+    weighted(vec![
+        (4, f64_bits().boxed()),
+        (3, range_f64(-1e3, 1e3).boxed()),
+        (1, just(0.0f64).boxed()),
+        (1, just(-0.0f64).boxed()),
+        (1, just(f64::NAN).boxed()),
+        (1, just(f64::INFINITY).boxed()),
+        (1, just(f64::NEG_INFINITY).boxed()),
+        (1, just(5e-324f64).boxed()), // smallest positive subnormal
+        (1, just(-1e-308f64).boxed()),
+        (1, just(1.797e308f64).boxed()),
+    ])
+}
+
+/// Vectors of values from `element`, with length uniform in `len`.
+///
+/// Shrinks by truncating toward the minimum length, deleting single
+/// elements, and shrinking individual elements in place.
+pub fn vecs<G: Gen>(element: G, len: std::ops::Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "empty length range");
+    VecGen {
+        element,
+        min: len.start,
+        max: len.end,
+    }
+}
+
+/// See [`vecs`].
+pub struct VecGen<G> {
+    element: G,
+    min: usize,
+    max: usize,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<G::Value> {
+        let len = rng.range_usize(self.min, self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        // Halve toward the minimum length.
+        if len > self.min {
+            let half = self.min.max(len / 2);
+            out.push(value[..half].to_vec());
+            out.push(value[len - half..].to_vec());
+            // Drop single elements at a few spread positions.
+            for k in 0..len.min(4) {
+                let idx = k * len / len.min(4);
+                let mut v = value.clone();
+                v.remove(idx.min(len - 1));
+                out.push(v);
+            }
+        }
+        // Shrink a few individual elements.
+        for k in 0..len.min(3) {
+            let idx = k * len / len.min(3);
+            for cand in self.element.shrink(&value[idx.min(len - 1)]) {
+                let mut v = value.clone();
+                v[idx.min(len - 1)] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Picks one of `choices` uniformly per draw.
+pub fn one_of<T: Clone + Debug + 'static>(choices: Vec<BoxedGen<T>>) -> OneOf<T> {
+    assert!(!choices.is_empty(), "one_of needs at least one generator");
+    OneOf { choices }
+}
+
+/// See [`one_of`].
+pub struct OneOf<T> {
+    choices: Vec<BoxedGen<T>>,
+}
+
+impl<T: Clone + Debug + 'static> Gen for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        let idx = rng.range_usize(0, self.choices.len());
+        self.choices[idx].generate(rng)
+    }
+}
+
+/// Picks among `choices` with the given integer weights.
+pub fn weighted<T: Clone + Debug + 'static>(choices: Vec<(u32, BoxedGen<T>)>) -> BoxedGen<T> {
+    assert!(!choices.is_empty(), "weighted needs at least one generator");
+    let total: u64 = choices.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "total weight must be positive");
+    from_fn(move |rng| {
+        let mut pick = rng.below(total);
+        for (w, g) in &choices {
+            let w = u64::from(*w);
+            if pick < w {
+                return g.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    })
+    .boxed()
+}
+
+macro_rules! tuple_gen {
+    ($($g:ident / $v:ident : $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(A / a: 0);
+tuple_gen!(A / a: 0, B / b: 1);
+tuple_gen!(A / a: 0, B / b: 1, C / c: 2);
+tuple_gen!(A / a: 0, B / b: 1, C / c: 2, D / d: 3);
+tuple_gen!(A / a: 0, B / b: 1, C / c: 2, D / d: 3, E / e: 4);
+tuple_gen!(A / a: 0, B / b: 1, C / c: 2, D / d: 3, E / e: 4, F / f: 5);
+
+/// Sparse square-matrix coordinate sets: `(n, coords)` with `n` in
+/// `n_range` and up to `max_extra` off-pattern coordinates (duplicates
+/// allowed, diagonal not guaranteed) — feed into a triplet builder.
+pub fn sparse_coords(
+    n_range: std::ops::Range<usize>,
+    max_extra: usize,
+) -> impl Gen<Value = (usize, Vec<(usize, usize)>)> {
+    from_fn(move |rng| {
+        let n = rng.range_usize(n_range.start, n_range.end);
+        let extra = rng.range_usize(0, max_extra + 1);
+        let coords = (0..extra)
+            .map(|_| (rng.range_usize(0, n), rng.range_usize(0, n)))
+            .collect();
+        (n, coords)
+    })
+}
+
+/// Random SPICE decks over the device classes the parser supports: a pulse
+/// or sine source driving a ladder of R/C/diode sections with a `.tran`
+/// card. Every produced deck parses and has a DC operating point (each
+/// internal node keeps a resistive path to ground).
+pub fn netlists(max_sections: usize) -> impl Gen<Value = String> {
+    assert!(max_sections >= 1);
+    from_fn(move |rng| {
+        let sections = rng.range_usize(1, max_sections + 1);
+        let mut deck = String::from("testkit generated deck\n");
+        if rng.bool() {
+            let va = rng.range_f64(0.5, 5.0);
+            deck.push_str(&format!("V1 n0 0 SIN(0 {va:.3} 1e6)\n"));
+        } else {
+            let v = rng.range_f64(0.5, 5.0);
+            deck.push_str(&format!("V1 n0 0 PULSE(0 {v:.3} 0 20n 20n 400n 1u)\n"));
+        }
+        for s in 0..sections {
+            let r = rng.range_f64(100.0, 1e5);
+            deck.push_str(&format!("R{s} n{s} n{} {r:.1}\n", s + 1));
+            let c = rng.range_f64(1e-13, 1e-11);
+            deck.push_str(&format!("C{s} n{} 0 {c:.3e}\n", s + 1));
+            if rng.chance(0.3) {
+                deck.push_str(&format!("D{s} n{} 0 IS=1e-14 CJ0=2p\n", s + 1));
+            }
+            // Keep a DC path to ground from every internal node.
+            deck.push_str(&format!("RG{s} n{} 0 1e6\n", s + 1));
+        }
+        deck.push_str(".tran 10n 1u\n.end\n");
+        deck
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let g = vecs(u8s(), 2..7);
+        let mut rng = Rng::new(1);
+        for _ in 0..200 {
+            let v = g.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_never_goes_below_min() {
+        let g = vecs(u8s(), 3..10);
+        let mut rng = Rng::new(2);
+        let v = g.generate(&mut rng);
+        for cand in g.shrink(&v) {
+            assert!(cand.len() >= 3, "shrunk below min: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_only_draws_from_choices() {
+        let g = weighted(vec![(3, just(1u8).boxed()), (1, just(2u8).boxed())]);
+        let mut rng = Rng::new(3);
+        let mut ones = 0;
+        for _ in 0..400 {
+            match g.generate(&mut rng) {
+                1 => ones += 1,
+                2 => {}
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        // 3:1 weighting: expect ~300 ones.
+        assert!((200..400).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn f64_payloads_hit_special_values() {
+        let g = f64_payloads();
+        let mut rng = Rng::new(4);
+        let draws: Vec<f64> = (0..2000).map(|_| g.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|v| v.is_nan()));
+        assert!(draws.iter().any(|v| v.is_infinite()));
+        assert!(draws.iter().any(|v| *v == 0.0 && v.is_sign_negative()));
+        assert!(draws.iter().any(|v| v.is_subnormal()));
+    }
+
+    #[test]
+    fn tuple_shrink_changes_one_component() {
+        let g = (range_u64(0, 100), range_u64(0, 100));
+        let value = (40u64, 80u64);
+        for (a, b) in g.shrink(&value) {
+            assert!((a, b) != value);
+            assert!(a == 40 || b == 80, "only one side shrinks at a time");
+        }
+    }
+
+    #[test]
+    fn sparse_coords_in_bounds() {
+        let g = sparse_coords(2..9, 20);
+        let mut rng = Rng::new(5);
+        for _ in 0..100 {
+            let (n, coords) = g.generate(&mut rng);
+            assert!((2..9).contains(&n));
+            for (r, c) in coords {
+                assert!(r < n && c < n);
+            }
+        }
+    }
+
+    #[test]
+    fn netlists_have_required_cards() {
+        let g = netlists(5);
+        let mut rng = Rng::new(6);
+        for _ in 0..50 {
+            let deck = g.generate(&mut rng);
+            assert!(deck.contains("V1 n0 0 "));
+            assert!(deck.contains(".tran"));
+            assert!(deck.ends_with(".end\n"));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # masc-testkit — hermetic property-testing and micro-bench harness
+//!
+//! The MASC workspace builds **offline**: no crates.io dependencies, ever
+//! (see `DESIGN.md` §"Hermetic builds"). This crate supplies the testing
+//! machinery that external crates used to provide:
+//!
+//! - [`rng`] — a seedable PCG32 PRNG, so every test value is reproducible
+//!   from a printed seed;
+//! - [`gen`] — composable value generators (integers, floats with
+//!   adversarial payloads, vectors, sparse coordinate sets, netlist decks)
+//!   with bounded, invariant-preserving shrinking;
+//! - [`prop`] — the [`prop!`] test macro and runner: fixed-seed cases,
+//!   `MASC_PROP_REPRO=<seed>` single-case reproduction, greedy shrinking;
+//! - [`bench`] — a warmup + median wall-clock timer standing in for
+//!   criterion, used by `crates/bench/benches/*`.
+//!
+//! # Examples
+//!
+//! ```
+//! use masc_testkit::{gen, gen::Gen, prop};
+//!
+//! prop! {
+//!     #![cases = 50]
+//!     fn reverse_is_involutive(v in gen::vecs(gen::u8s(), 0..100)) {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         assert_eq!(v, w);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod gen;
+pub mod prop;
+pub mod rng;
+
+pub use gen::Gen;
+pub use rng::Rng;

@@ -1,0 +1,209 @@
+//! Deterministic, seedable PRNG for tests and benches.
+//!
+//! The generator is PCG-XSH-RR 64/32 ("pcg32"): a 64-bit LCG state with a
+//! 32-bit permuted output. It is fast, has no global state, and — crucially
+//! for a test harness — a (seed, stream) pair fully determines the sequence,
+//! so every failure report can print the exact seed that reproduces it.
+
+/// PCG multiplier (Knuth's MMIX LCG constant).
+const PCG_MULT: u64 = 6364136223846793005;
+
+/// SplitMix64 finalizer; used to spread user seeds over the state space.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable PCG32 random number generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+    inc: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed (stream 0).
+    pub fn new(seed: u64) -> Self {
+        Self::with_stream(seed, 0)
+    }
+
+    /// Creates a generator on an independent stream for the same seed.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Self {
+            state: 0,
+            inc: (splitmix64(stream) << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(splitmix64(seed));
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform value in `[0, bound)`. Returns 0 when `bound == 0`.
+    ///
+    /// Uses widening-multiply rejection (Lemire), so the result is unbiased.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit_f64() * (hi - lo)
+    }
+
+    /// A fair coin flip.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.next_u32() & 1 != 0
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// A derived generator on an independent stream; advancing the child
+    /// never perturbs the parent's sequence beyond this one draw.
+    pub fn fork(&mut self) -> Rng {
+        Rng::with_stream(self.next_u64(), self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.below(0), 0);
+        assert_eq!(rng.below(1), 0);
+    }
+
+    #[test]
+    fn ranges_are_inclusive_exclusive() {
+        let mut rng = Rng::new(3);
+        let mut seen_lo = false;
+        for _ in 0..500 {
+            let v = rng.range_usize(5, 8);
+            assert!((5..8).contains(&v));
+            seen_lo |= v == 5;
+        }
+        assert!(seen_lo, "lower bound should be reachable");
+        for _ in 0..100 {
+            let v = rng.range_i64(-3, 3);
+            assert!((-3..3).contains(&v));
+            let f = rng.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_in_unit_interval() {
+        let mut rng = Rng::new(11);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        // Mean of 1000 U(0,1) draws is within 0.1 of 0.5 w.h.p.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut parent = Rng::new(5);
+        let mut child = parent.fork();
+        let after_fork = parent.next_u64();
+        let mut parent2 = Rng::new(5);
+        let _ = parent2.fork();
+        assert_eq!(after_fork, parent2.next_u64());
+        // Child differs from parent's stream.
+        let mut p = Rng::new(5);
+        assert_ne!(child.next_u64(), p.next_u64());
+    }
+}

@@ -99,9 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params: Vec<_> = probe
         .params()
         .into_iter()
-        .filter(|p| {
-            p.path.ends_with(".bf") || p.path.ends_with(".tf") || p.path.starts_with("RC")
-        })
+        .filter(|p| p.path.ends_with(".bf") || p.path.ends_with(".tf") || p.path.starts_with("RC"))
         .collect();
     println!(
         "{} devices, {} parameters, {} objectives, {} steps\n",

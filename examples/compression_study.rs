@@ -65,8 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let g = compress(&dataset.g_pattern, &dataset.g_series);
         let c = compress(&dataset.c_pattern, &dataset.c_series);
-        let ratio = dataset.s_nz_bytes() as f64
-            / (g.compressed_bytes() + c.compressed_bytes()) as f64;
+        let ratio =
+            dataset.s_nz_bytes() as f64 / (g.compressed_bytes() + c.compressed_bytes()) as f64;
         println!("{label:<22} {ratio:>7.2}x  {:>12}", "yes");
         if label.ends_with("w/o Markov") {
             let stats = g.stats();

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: format, build (including bench targets) and test the
+# whole workspace with the network forbidden. Exits nonzero on the first
+# failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo build --release --offline --workspace --benches
+run cargo test -q --offline --workspace
+
+echo "==> ci: all checks passed"

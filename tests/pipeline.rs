@@ -1,11 +1,15 @@
 //! Cross-crate integration tests: netlist text → simulator → Jacobian
 //! stores → adjoint sensitivities → compression, exercised together.
 
-use masc::adjoint::{run_adjoint, run_xyce_like, Objective, StoreConfig};
+use masc::adjoint::{finite_difference, run_adjoint, run_xyce_like, Objective, StoreConfig};
 use masc::baselines::{Compressor, GzipLike, NdzipLike, SpiceMate};
 use masc::circuit::parser::parse_netlist;
+use masc::circuit::transient::TranOptions;
 use masc::compress::{MascConfig, TensorCompressor};
+use masc::datasets::capture;
+use masc::datasets::generators::rc_ladder;
 use masc::datasets::registry::{table1_circuits, table2_datasets};
+use masc_testkit::rng::Rng;
 
 /// Full pipeline from netlist text through the compressed-store adjoint.
 #[test]
@@ -138,6 +142,86 @@ fn registry_datasets_compress_losslessly() {
                 assert!((a - b).abs() <= 1e-9 * 1.0001, "{a} vs {b}");
             }
         }
+    }
+}
+
+/// End-to-end on an RC ladder: transient → capture both Jacobian tensors →
+/// MASC compress → decompress byte-exactly, then validate the compressed
+/// store's adjoint gradients against central finite differences.
+#[test]
+fn rc_ladder_end_to_end() {
+    // 20 ns window: comparable to the ladder's aggregate RC delay, so the
+    // objective is genuinely sensitive to every R and C.
+    let sections = 12usize;
+    let period = 2e-8;
+    let circuit = rc_ladder(sections, period);
+    let tran = TranOptions::new(period, period / 100.0);
+
+    // 1. Transient run, capturing the G and C tensors at every step.
+    let dataset = capture("rc12", circuit.clone(), &tran).expect("transient runs");
+    assert!(dataset.steps() > 10, "transient produced too few steps");
+
+    // 2. Tensor compress → decompress must be a byte-exact round trip.
+    for (pattern, series) in [
+        (&dataset.g_pattern, &dataset.g_series),
+        (&dataset.c_pattern, &dataset.c_series),
+    ] {
+        let mut tc = TensorCompressor::new(pattern.clone(), MascConfig::default());
+        for m in series.iter() {
+            tc.push(m);
+        }
+        let tensor = tc.finish();
+        let restored = tensor.decompress_all().expect("lossless");
+        assert_eq!(restored.len(), series.len());
+        for (step, (a, b)) in restored.iter().zip(series.iter()).enumerate() {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "step {step} differs");
+            }
+        }
+    }
+
+    // 3. Adjoint through the compressed store vs finite differences, on a
+    //    deterministic random sample of R and C parameters.
+    let mut circuit = circuit;
+    let tail = circuit
+        .find_node(&format!("n{}", sections - 1))
+        .expect("ladder tail exists")
+        .unknown()
+        .expect("not ground");
+    let objectives = [Objective::Integral { unknown: tail }];
+    let mut params: Vec<_> = circuit
+        .params()
+        .into_iter()
+        .filter(|p| p.path.ends_with(".r") || p.path.ends_with(".c"))
+        .collect();
+    let mut rng = Rng::new(0x4C41_4444_4552); // "LADDER"
+    let mut picked = Vec::new();
+    for _ in 0..6 {
+        picked.push(params.remove(rng.range_usize(0, params.len())));
+    }
+    let run = run_adjoint(
+        &mut circuit,
+        &tran,
+        &StoreConfig::Compressed(MascConfig::default()),
+        &objectives,
+        &picked,
+    )
+    .expect("adjoint runs");
+    for (j, param) in picked.iter().enumerate() {
+        let a = run.sensitivities.values[0][j];
+        assert!(a.is_finite(), "{}: non-finite sensitivity", param.path);
+        let fd = finite_difference(&circuit, &tran, &objectives[0], param, 1e-5).expect("fd runs");
+        let scale = a.abs().max(fd.abs());
+        assert!(
+            scale > 1e-15,
+            "{}: objective insensitive to param",
+            param.path
+        );
+        assert!(
+            (a - fd).abs() / scale < 1e-6,
+            "{}: adjoint {a:e} vs fd {fd:e}",
+            param.path
+        );
     }
 }
 
