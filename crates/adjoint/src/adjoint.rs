@@ -25,7 +25,7 @@
 //! `C` becomes available.
 
 use crate::objective::Objective;
-use crate::store::{BackwardJacobians, RunMeta, StepMatrices, StoreError};
+use crate::store::{BackwardJacobians, RunMeta, StepMatrices, StoreError, StoreMetrics};
 use masc_circuit::{Circuit, ParamRef, System};
 use masc_sparse::{CsrMatrix, LuError, LuFactors};
 use std::time::{Duration, Instant};
@@ -67,7 +67,7 @@ impl From<StoreError> for AdjointError {
 }
 
 /// Timing breakdown of an adjoint pass (Fig. 7's bar segments).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AdjointStats {
     /// Steps traversed (including DC).
     pub steps: usize,
@@ -75,14 +75,14 @@ pub struct AdjointStats {
     pub total_time: Duration,
     /// Time factoring and solving transposed systems.
     pub lu_time: Duration,
-    /// Time fetching matrices (decompression / disk reads / clones).
-    pub fetch_time: Duration,
-    /// Portion of `fetch_time` that was simulated I/O waiting.
-    pub io_wait: Duration,
     /// Time re-evaluating devices (non-zero only for the recompute store).
     pub recompute_time: Duration,
     /// Time evaluating parameter derivatives (`φ`).
     pub param_time: Duration,
+    /// Unified store telemetry, forward pass included (bytes per tier,
+    /// peak residency, compress/decompress/I/O/throttle time, per-step
+    /// latency histograms).
+    pub store: StoreMetrics,
 }
 
 /// The sensitivity matrix `dO_i/dp_j` plus run statistics.
@@ -269,8 +269,7 @@ pub fn adjoint_sensitivities(
     }
 
     let _ = device_eval_before;
-    stats.fetch_time = reader.fetch_time;
-    stats.io_wait = reader.io_wait;
+    stats.store = reader.metrics().clone();
     stats.total_time = run_start.elapsed();
     Ok(SensitivityResult {
         values: dodp,
@@ -316,9 +315,9 @@ pub fn adjoint_sensitivities_per_objective(
         values.extend(result.values);
         stats.steps += result.stats.steps;
         stats.lu_time += result.stats.lu_time;
-        stats.fetch_time += result.stats.fetch_time;
         stats.recompute_time += result.stats.recompute_time;
         stats.param_time += result.stats.param_time;
+        stats.store.merge(&result.stats.store);
     }
     stats.total_time = run_start.elapsed();
     Ok(SensitivityResult { values, stats })

@@ -60,12 +60,13 @@ pub use direct::{direct_sensitivities, DirectError};
 pub use fd::{finite_difference, objective_value, FdError};
 pub use objective::Objective;
 pub use store::{
-    BackwardJacobians, ForwardRecord, RunMeta, StepMatrices, StoreConfig, StoreError, TensorLayout,
+    BackwardJacobians, BackwardReader, CompressedStore, DiskStore, DurationHistogram,
+    FailingWriter, ForwardRecord, HybridStore, JacobianStore, RawStore, RecomputeStore, RunMeta,
+    StepMatrices, StoreConfig, StoreError, StoreMetrics, TensorLayout,
 };
 
 use masc_circuit::transient::{transient, TranError, TranOptions, TranStats};
 use masc_circuit::{Circuit, ParamRef};
-use std::time::Duration;
 
 /// Errors from the end-to-end pipeline.
 #[derive(Debug)]
@@ -126,10 +127,9 @@ pub struct SensitivityRun {
     pub sensitivities: SensitivityResult,
     /// Forward transient statistics.
     pub tran_stats: TranStats,
-    /// Time spent storing/compressing Jacobians during the forward pass.
-    pub store_time: Duration,
-    /// Peak Jacobian-storage footprint observed (bytes).
-    pub peak_storage_bytes: usize,
+    /// Unified Jacobian-store telemetry for the whole run (forward
+    /// capture + reverse fetch; same object as `sensitivities.stats.store`).
+    pub store_metrics: StoreMetrics,
 }
 
 /// Runs transient + the *Xyce-like* sensitivity schedule: nothing stored,
@@ -156,12 +156,12 @@ pub fn run_xyce_like(
     let (meta, _) = record.into_parts()?;
     let sensitivities =
         adjoint_sensitivities_per_objective(circuit, &mut system, &meta, objectives, params)?;
+    let store_metrics = sensitivities.stats.store.clone();
     Ok(SensitivityRun {
         objective_values,
         sensitivities,
         tran_stats: tran_result.stats,
-        store_time: Duration::ZERO,
-        peak_storage_bytes: 0,
+        store_metrics,
     })
 }
 
@@ -182,8 +182,6 @@ pub fn run_adjoint(
     let mut system = circuit.elaborate()?;
     let mut record = ForwardRecord::new(store::TensorLayout::of(&system), store)?;
     let tran_result = transient(circuit, &mut system, tran, &mut record)?;
-    let store_time = record.store_time;
-    let peak_storage_bytes = record.peak_bytes;
     let objective_values = objectives
         .iter()
         .map(|o| o.value(&tran_result.states, &tran_result.steps))
@@ -191,11 +189,11 @@ pub fn run_adjoint(
     let (meta, reader) = record.into_parts()?;
     let sensitivities =
         adjoint_sensitivities(circuit, &mut system, &meta, reader, objectives, params)?;
+    let store_metrics = sensitivities.stats.store.clone();
     Ok(SensitivityRun {
         objective_values,
         sensitivities,
         tran_stats: tran_result.stats,
-        store_time,
-        peak_storage_bytes,
+        store_metrics,
     })
 }

@@ -1,0 +1,161 @@
+//! Unified store telemetry.
+//!
+//! Every [`JacobianStore`](super::JacobianStore) backend carries one
+//! [`StoreMetrics`] through the forward pass and hands it to its backward
+//! reader, so a finished reader holds the complete forward+reverse picture:
+//! bytes moved per tier, peak residency, compression/decompression/I/O/
+//! throttle time, and per-step latency histograms. This replaces the four
+//! ad-hoc fields (`store_time`/`peak_bytes`/`fetch_time`/`io_wait`) the
+//! enum-based store scattered across `ForwardRecord` and
+//! `BackwardJacobians`.
+
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds; the last bucket is open-ended, ~4.3 s+).
+const BUCKETS: usize = 32;
+
+/// A fixed-size power-of-two latency histogram (nanosecond buckets).
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` ns. Zero-allocation,
+/// mergeable, and cheap enough to update once per transient step.
+#[derive(Clone)]
+pub struct DurationHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl DurationHistogram {
+    fn bucket(d: Duration) -> usize {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.counts[Self::bucket(d)] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 ..= 1.0`); zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// Accumulates another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl std::fmt::Debug for DurationHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DurationHistogram {{ n: {}, p50: {:?}, p99: {:?} }}",
+            self.total,
+            self.quantile(0.5),
+            self.quantile(0.99)
+        )
+    }
+}
+
+/// Unified telemetry for one Jacobian store, forward and reverse.
+///
+/// Byte counters follow the *payload* view: `bytes_written` is what the
+/// backend committed to its store after any encoding (raw f64 bytes for
+/// the raw/disk backends, compressed bytes for the compressed/hybrid
+/// backends), and `bytes_read` is what the reverse pass pulled back off
+/// the slow tier (disk). Durations are component times: `store_time` /
+/// `fetch_time` are the end-to-end per-step capture/fetch costs (they
+/// *include* compression, I/O, and throttle wait), the rest break those
+/// down.
+#[derive(Debug, Clone, Default)]
+pub struct StoreMetrics {
+    /// Payload bytes committed to the store during the forward pass.
+    pub bytes_written: u64,
+    /// Payload bytes read back from the slow tier during the reverse pass.
+    pub bytes_read: u64,
+    /// Peak resident (in-memory + on-disk) footprint observed, in bytes.
+    pub peak_resident_bytes: usize,
+    /// Total time capturing steps during the forward pass.
+    pub store_time: Duration,
+    /// Total time fetching steps during the reverse pass.
+    pub fetch_time: Duration,
+    /// Portion of `store_time` spent compressing.
+    pub compress_time: Duration,
+    /// Portion of `fetch_time` spent decompressing.
+    pub decompress_time: Duration,
+    /// Real I/O time (write/read syscalls), both directions.
+    pub io_time: Duration,
+    /// Simulated-bandwidth sleep time, both directions.
+    pub throttle_wait: Duration,
+    /// Per-step capture latencies.
+    pub put_hist: DurationHistogram,
+    /// Per-step fetch latencies.
+    pub fetch_hist: DurationHistogram,
+}
+
+impl StoreMetrics {
+    /// Records one forward-pass capture of duration `d`.
+    pub fn record_put(&mut self, d: Duration) {
+        self.store_time += d;
+        self.put_hist.record(d);
+    }
+
+    /// Records one reverse-pass fetch of duration `d`.
+    pub fn record_fetch(&mut self, d: Duration) {
+        self.fetch_time += d;
+        self.fetch_hist.record(d);
+    }
+
+    /// Raises the peak-residency watermark to `bytes` if larger.
+    pub fn note_resident(&mut self, bytes: usize) {
+        self.peak_resident_bytes = self.peak_resident_bytes.max(bytes);
+    }
+
+    /// Accumulates another store's metrics into this one (peaks take the
+    /// max; everything else sums).
+    pub fn merge(&mut self, other: &Self) {
+        self.bytes_written += other.bytes_written;
+        self.bytes_read += other.bytes_read;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+        self.store_time += other.store_time;
+        self.fetch_time += other.fetch_time;
+        self.compress_time += other.compress_time;
+        self.decompress_time += other.decompress_time;
+        self.io_time += other.io_time;
+        self.throttle_wait += other.throttle_wait;
+        self.put_hist.merge(&other.put_hist);
+        self.fetch_hist.merge(&other.fetch_hist);
+    }
+}

@@ -1,0 +1,510 @@
+//! Jacobian stores: an open, trait-based storage layer for the per-step
+//! `G`/`C` tensors the adjoint reverse pass consumes (paper Fig. 7).
+//!
+//! A [`ForwardRecord`] plugs into the transient analysis as a
+//! [`JacobianSink`] and captures, per accepted step, the solution `x_n`,
+//! step size `h_n`, and — through a pluggable [`JacobianStore`] backend —
+//! the `G`/`C` matrices. Five backends ship in [`backends`] and
+//! [`hybrid`]:
+//!
+//! - [`RecomputeStore`] — store nothing; the reverse pass re-evaluates
+//!   every device (Xyce-like; the `T_Jac` cost of Table 1).
+//! - [`RawStore`] — keep raw value arrays (the memory wall of Fig. 1).
+//! - [`DiskStore`] — stream raw values through a file, optionally
+//!   throttled to a target bandwidth. The throttle exists because a CI
+//!   box's page cache would otherwise "read" at memory speed and hide the
+//!   I/O wall the paper measures against a ~0.5 GB/s SSD.
+//! - [`CompressedStore`] — MASC in-memory compression (paper Algorithm 2).
+//! - [`HybridStore`] — the most recent K *compressed* blocks stay in
+//!   memory; older blocks spill to disk as compressed bytes, so the
+//!   paper's compression ratio multiplies the effective disk bandwidth.
+//!
+//! Custom backends implement [`JacobianStore`] + [`BackwardReader`] and
+//! plug in through [`ForwardRecord::with_store`]. Every backend carries a
+//! [`StoreMetrics`] with unified telemetry (bytes per tier, peak
+//! residency, compress/decompress/I/O/throttle durations, per-step
+//! latency histograms).
+
+mod backends;
+mod hybrid;
+mod metrics;
+
+pub use backends::{CompressedStore, DiskStore, FailingWriter, RawStore, RecomputeStore};
+pub use hybrid::HybridStore;
+pub use metrics::{DurationHistogram, StoreMetrics};
+
+use masc_circuit::transient::{JacobianSink, SinkError};
+use masc_circuit::System;
+use masc_compress::MascConfig;
+use masc_sparse::{CsrMatrix, Pattern};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which Jacobian storage strategy to use.
+#[derive(Debug, Clone)]
+pub enum StoreConfig {
+    /// Recompute matrices during the reverse pass (store only states).
+    Recompute,
+    /// Keep raw matrices in memory.
+    RawMemory,
+    /// Stream raw matrices through a file.
+    Disk {
+        /// Directory for the spill file.
+        dir: PathBuf,
+        /// Simulated bandwidth in bytes/second (`None` = unthrottled).
+        bandwidth: Option<f64>,
+    },
+    /// MASC in-memory compression.
+    Compressed(MascConfig),
+    /// Compressed in memory for the most recent `resident_blocks` steps,
+    /// older compressed blocks spilled to disk.
+    Hybrid {
+        /// Directory for the spill file.
+        dir: PathBuf,
+        /// Simulated bandwidth in bytes/second (`None` = unthrottled).
+        bandwidth: Option<f64>,
+        /// Compressed blocks (per tensor) kept resident in memory.
+        resident_blocks: usize,
+        /// Compressor configuration.
+        masc: MascConfig,
+    },
+}
+
+impl StoreConfig {
+    /// A hybrid store with the default residency window.
+    pub fn hybrid(dir: PathBuf, bandwidth: Option<f64>) -> Self {
+        StoreConfig::Hybrid {
+            dir,
+            bandwidth,
+            resident_blocks: 8,
+            masc: MascConfig::default(),
+        }
+    }
+
+    /// Builds the backend this configuration describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if a spill file cannot be created.
+    pub fn build(&self, layout: &TensorLayout) -> Result<Box<dyn JacobianStore>, StoreError> {
+        Ok(match self {
+            StoreConfig::Recompute => Box::new(RecomputeStore::new()),
+            StoreConfig::RawMemory => Box::new(RawStore::new(
+                layout.g_pattern.nnz(),
+                layout.c_pattern.nnz(),
+            )),
+            StoreConfig::Disk { dir, bandwidth } => Box::new(DiskStore::create(
+                dir,
+                *bandwidth,
+                layout.g_pattern.nnz(),
+                layout.c_pattern.nnz(),
+            )?),
+            StoreConfig::Compressed(masc) => Box::new(CompressedStore::new(
+                layout.g_pattern.clone(),
+                layout.c_pattern.clone(),
+                masc.clone(),
+            )),
+            StoreConfig::Hybrid {
+                dir,
+                bandwidth,
+                resident_blocks,
+                masc,
+            } => Box::new(HybridStore::create(
+                layout.g_pattern.clone(),
+                layout.c_pattern.clone(),
+                masc.clone(),
+                dir,
+                *bandwidth,
+                *resident_blocks,
+            )?),
+        })
+    }
+}
+
+/// Errors from the Jacobian store layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O failure in the spill file.
+    Io(std::io::Error),
+    /// A compressed block failed to decode.
+    Compress(masc_compress::CompressError),
+    /// The stored tensor ended before the recorded step count.
+    TensorTruncated {
+        /// The step whose matrices were missing.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "jacobian spill file: {e}"),
+            StoreError::Compress(e) => write!(f, "jacobian decompression: {e}"),
+            StoreError::TensorTruncated { step } => {
+                write!(f, "jacobian tensor has no matrices for step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<masc_compress::CompressError> for StoreError {
+    fn from(e: masc_compress::CompressError) -> Self {
+        StoreError::Compress(e)
+    }
+}
+
+/// How the per-step matrices are split into the two stored tensors.
+///
+/// `G` and `C` are gathered onto their own sub-patterns before storage so
+/// the stored bytes are exactly the paper's `S_NZ` — no structural zeros
+/// from the union pattern are stored or compressed.
+#[derive(Debug, Clone)]
+pub struct TensorLayout {
+    /// The solver's union pattern.
+    pub union: Arc<Pattern>,
+    /// `G`'s own sub-pattern.
+    pub g_pattern: Arc<Pattern>,
+    /// `C`'s own sub-pattern.
+    pub c_pattern: Arc<Pattern>,
+    /// Union value index of each `G` sub-pattern non-zero.
+    pub g_slots: Arc<Vec<usize>>,
+    /// Union value index of each `C` sub-pattern non-zero.
+    pub c_slots: Arc<Vec<usize>>,
+}
+
+impl TensorLayout {
+    /// Extracts the layout from an elaborated system.
+    pub fn of(system: &System) -> Self {
+        Self {
+            union: system.pattern.clone(),
+            g_pattern: system.g_pattern.clone(),
+            c_pattern: system.c_pattern.clone(),
+            g_slots: system.g_slots.clone(),
+            c_slots: system.c_slots.clone(),
+        }
+    }
+
+    fn gather(slots: &[usize], union_values: &[f64]) -> Vec<f64> {
+        slots.iter().map(|&s| union_values[s]).collect()
+    }
+}
+
+/// Throttles a transfer to `bandwidth` bytes/second by sleeping off the
+/// surplus. Returns the simulated wait.
+pub(crate) fn throttle(bytes: usize, bandwidth: Option<f64>, elapsed: Duration) -> Duration {
+    let Some(bw) = bandwidth else {
+        return Duration::ZERO;
+    };
+    let target = Duration::from_secs_f64(bytes as f64 / bw);
+    if target > elapsed {
+        let sleep = target - elapsed;
+        std::thread::sleep(sleep);
+        sleep
+    } else {
+        Duration::ZERO
+    }
+}
+
+/// One reverse-order step's matrices, or a request to recompute them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepMatrices {
+    /// The stored `G` and `C` value arrays in their *compact* sub-pattern
+    /// form (scatter back with [`System::scatter_g`]/[`scatter_c`]).
+    ///
+    /// [`System::scatter_g`]: masc_circuit::System::scatter_g
+    /// [`scatter_c`]: masc_circuit::System::scatter_c
+    Stored {
+        /// `G = ∂f/∂x` values over the `G` sub-pattern.
+        g: Vec<f64>,
+        /// `C = ∂q/∂x` values over the `C` sub-pattern.
+        c: Vec<f64>,
+    },
+    /// Nothing stored — the caller must re-evaluate the devices at the
+    /// recorded state (the Xyce-like baseline).
+    Recompute,
+}
+
+/// A forward-pass Jacobian storage backend.
+///
+/// The transient sink feeds each accepted step's compact `G`/`C` value
+/// arrays through [`put`](Self::put); [`finish`](Self::finish) seals the
+/// store into a [`BackwardReader`] that replays the matrices newest-first.
+/// Implementations own a [`StoreMetrics`] and account their tier traffic
+/// (bytes, compress/I/O/throttle time) into it; the generic wrapper
+/// ([`ForwardRecord`]) adds the per-step timing histograms and the
+/// residency watermark.
+pub trait JacobianStore: std::fmt::Debug + Send {
+    /// Whether the store wants the matrix values at all (the recompute
+    /// backend skips the gather entirely).
+    fn wants_matrices(&self) -> bool {
+        true
+    }
+
+    /// Accepts step `step`'s compact `G`/`C` value arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the step cannot be persisted.
+    fn put(&mut self, step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError>;
+
+    /// Current storage footprint in bytes (matrix data only, all tiers).
+    fn resident_bytes(&self) -> usize;
+
+    /// Telemetry accumulated so far.
+    fn metrics(&self) -> &StoreMetrics;
+
+    /// Mutable telemetry (the sink wrapper records put latencies here).
+    fn metrics_mut(&mut self) -> &mut StoreMetrics;
+
+    /// Seals the store into a newest-first reader. The reader inherits
+    /// this store's metrics and keeps accumulating into them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if finalization I/O fails.
+    fn finish(self: Box<Self>) -> Result<Box<dyn BackwardReader>, StoreError>;
+
+    /// Runtime-typed view, for backend-specific accessors
+    /// (e.g. [`ForwardRecord::raw_matrices`]).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Reverse-order matrix supplier for one finished [`JacobianStore`].
+///
+/// [`fetch`](Self::fetch) is called with strictly decreasing step indices
+/// (`N, N−1, …, 0`), matching the adjoint recursion's access order.
+pub trait BackwardReader: std::fmt::Debug + Send {
+    /// Produces step `step`'s matrices (or a recompute marker).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O or decode failure, and
+    /// [`StoreError::TensorTruncated`] when the store holds fewer
+    /// matrices than the recorded step count.
+    fn fetch(&mut self, step: usize) -> Result<StepMatrices, StoreError>;
+
+    /// Telemetry, forward pass included.
+    fn metrics(&self) -> &StoreMetrics;
+
+    /// Mutable telemetry (the reader wrapper records fetch latencies).
+    fn metrics_mut(&mut self) -> &mut StoreMetrics;
+
+    /// Releases external resources early (spill files are also removed on
+    /// drop).
+    fn cleanup(&mut self) {}
+}
+
+/// Captures everything the reverse pass needs from the forward sweep.
+#[derive(Debug)]
+pub struct ForwardRecord {
+    layout: TensorLayout,
+    /// Per step: time.
+    pub times: Vec<f64>,
+    /// Per step: step size `h_n` (index 0 unused).
+    pub hs: Vec<f64>,
+    /// Per step: solution vector.
+    pub states: Vec<Vec<f64>>,
+    store: Box<dyn JacobianStore>,
+}
+
+impl ForwardRecord {
+    /// Creates a record for the given tensor layout and store strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if a disk spill file cannot be created.
+    pub fn new(layout: TensorLayout, config: &StoreConfig) -> Result<Self, StoreError> {
+        let store = config.build(&layout)?;
+        Ok(Self::with_store(layout, store))
+    }
+
+    /// Creates a record over a custom [`JacobianStore`] backend — the
+    /// extension point for stores this crate does not ship.
+    pub fn with_store(layout: TensorLayout, store: Box<dyn JacobianStore>) -> Self {
+        Self {
+            layout,
+            times: Vec::new(),
+            hs: Vec::new(),
+            states: Vec::new(),
+            store,
+        }
+    }
+
+    /// Number of recorded steps (including the DC point).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Current storage footprint in bytes (matrix data only).
+    pub fn storage_bytes(&self) -> usize {
+        self.store.resident_bytes()
+    }
+
+    /// Telemetry accumulated during the forward pass.
+    pub fn metrics(&self) -> &StoreMetrics {
+        self.store.metrics()
+    }
+
+    /// Raw matrix histories, available only for [`StoreConfig::RawMemory`]
+    /// records (the direct method consumes them in forward order).
+    pub fn raw_matrices(&self) -> Option<RawSeries<'_>> {
+        self.store
+            .as_any()
+            .downcast_ref::<RawStore>()
+            .map(RawStore::series)
+    }
+
+    /// Finalizes into a backward reader, discarding the run metadata
+    /// (see [`ForwardRecord::into_parts`] to keep it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the store cannot be sealed.
+    pub fn into_reader(self) -> Result<BackwardJacobians, StoreError> {
+        let (_, reader) = self.into_parts()?;
+        Ok(reader)
+    }
+
+    /// Splits the record into the run metadata (times, steps, states) and
+    /// the backward matrix reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the store cannot be sealed.
+    pub fn into_parts(mut self) -> Result<(RunMeta, BackwardJacobians), StoreError> {
+        let meta = RunMeta {
+            times: std::mem::take(&mut self.times),
+            hs: std::mem::take(&mut self.hs),
+            states: std::mem::take(&mut self.states),
+        };
+        let steps = meta.times.len();
+        let reader = self.store.finish()?;
+        Ok((
+            meta,
+            BackwardJacobians {
+                next_step: steps,
+                reader,
+            },
+        ))
+    }
+}
+
+/// Borrowed forward-order `G` and `C` value histories of a raw store.
+pub type RawSeries<'a> = (&'a [Vec<f64>], &'a [Vec<f64>]);
+
+/// The per-step scalars and states of a forward run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMeta {
+    /// Time points.
+    pub times: Vec<f64>,
+    /// Step sizes (`hs[0]` unused).
+    pub hs: Vec<f64>,
+    /// Solution vectors.
+    pub states: Vec<Vec<f64>>,
+}
+
+impl JacobianSink for ForwardRecord {
+    fn on_step(
+        &mut self,
+        step: usize,
+        t: f64,
+        h: f64,
+        x: &[f64],
+        g: &CsrMatrix,
+        c: &CsrMatrix,
+    ) -> Result<(), SinkError> {
+        debug_assert_eq!(step, self.times.len(), "steps must arrive in order");
+        self.times.push(t);
+        self.hs.push(h);
+        self.states.push(x.to_vec());
+        let start = Instant::now();
+        let result = if self.store.wants_matrices() {
+            // Gather each tensor's real non-zeros off the union pattern.
+            let g_compact = TensorLayout::gather(&self.layout.g_slots, g.values());
+            let c_compact = TensorLayout::gather(&self.layout.c_slots, c.values());
+            self.store.put(step, &g_compact, &c_compact)
+        } else {
+            self.store.put(step, &[], &[])
+        };
+        let elapsed = start.elapsed();
+        result.map_err(SinkError::new)?;
+        let resident = self.store.resident_bytes();
+        let m = self.store.metrics_mut();
+        m.record_put(elapsed);
+        m.note_resident(resident);
+        Ok(())
+    }
+}
+
+/// Reverse-order reader over a [`ForwardRecord`]'s matrices.
+#[derive(Debug)]
+pub struct BackwardJacobians {
+    next_step: usize,
+    reader: Box<dyn BackwardReader>,
+}
+
+impl BackwardJacobians {
+    /// Creates a standalone recompute-mode reader (no stored matrices; the
+    /// adjoint engine re-evaluates devices at every step). Used to run
+    /// repeated reverse sweeps over one forward record, as a per-objective
+    /// Xyce-like baseline does.
+    pub fn recompute(steps: usize) -> Self {
+        Self {
+            next_step: steps,
+            reader: backends::recompute_reader(),
+        }
+    }
+
+    /// Steps not yet fetched.
+    pub fn remaining(&self) -> usize {
+        self.next_step
+    }
+
+    /// Telemetry, forward pass included.
+    pub fn metrics(&self) -> &StoreMetrics {
+        self.reader.metrics()
+    }
+
+    /// Fetches the matrices of the next step in reverse order
+    /// (`N, N−1, …, 0`). Returns `None` when exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O or decompression failure.
+    pub fn next_back(&mut self) -> Result<Option<(usize, StepMatrices)>, StoreError> {
+        if self.next_step == 0 {
+            return Ok(None);
+        }
+        self.next_step -= 1;
+        let step = self.next_step;
+        let start = Instant::now();
+        let matrices = self.reader.fetch(step)?;
+        self.reader.metrics_mut().record_fetch(start.elapsed());
+        Ok(Some((step, matrices)))
+    }
+
+    /// Removes the disk spill file, if any. Called on drop as well.
+    pub fn cleanup(&mut self) {
+        self.reader.cleanup();
+    }
+}
+
+impl Drop for BackwardJacobians {
+    fn drop(&mut self) {
+        self.cleanup();
+    }
+}

@@ -1,0 +1,241 @@
+//! Fault injection and error-path tests for the Jacobian store layer:
+//! a full transient must surface store I/O failures as structured
+//! [`TranError::Sink`] values (never a panic), spill files must not leak
+//! on any path, and truncated tensors must decode to
+//! [`StoreError::TensorTruncated`].
+
+use masc_adjoint::store::{
+    BackwardReader, CompressedStore, DiskStore, FailingWriter, ForwardRecord, JacobianStore,
+    StepMatrices, StoreConfig, StoreError, StoreMetrics, TensorLayout,
+};
+use masc_circuit::parser::parse_netlist;
+use masc_circuit::transient::{transient, JacobianSink, TranError};
+use masc_compress::MascConfig;
+use masc_sparse::{CsrMatrix, Pattern, TripletMatrix};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("masc-fault-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dir_entries(dir: &PathBuf) -> usize {
+    std::fs::read_dir(dir).map(|d| d.count()).unwrap_or(0)
+}
+
+fn pattern() -> Arc<Pattern> {
+    let mut t = TripletMatrix::new(3, 3);
+    for i in 0..3 {
+        t.add(i, i, 1.0);
+        if i > 0 {
+            t.add(i, i - 1, 1.0);
+            t.add(i - 1, i, 1.0);
+        }
+    }
+    t.to_csr().pattern().clone()
+}
+
+fn layout(p: &Arc<Pattern>) -> TensorLayout {
+    let identity = Arc::new((0..p.nnz()).collect::<Vec<_>>());
+    TensorLayout {
+        union: p.clone(),
+        g_pattern: p.clone(),
+        c_pattern: p.clone(),
+        g_slots: identity.clone(),
+        c_slots: identity,
+    }
+}
+
+fn feed(record: &mut ForwardRecord, p: &Arc<Pattern>, steps: usize) {
+    for s in 0..steps {
+        let vals: Vec<f64> = (0..p.nnz()).map(|k| s as f64 + k as f64 * 0.1).collect();
+        let g = CsrMatrix::from_parts(p.clone(), vals.clone()).unwrap();
+        let c = CsrMatrix::from_parts(p.clone(), vals).unwrap();
+        record
+            .on_step(s, s as f64 * 1e-6, 1e-6, &[0.0; 3], &g, &c)
+            .unwrap();
+    }
+}
+
+/// A transient whose disk store runs out of space mid-run must abort with
+/// a structured `TranError::Sink` (not a panic), and the spill file must
+/// be removed once the record is dropped.
+#[test]
+fn transient_surfaces_disk_full_as_sink_error() {
+    let parsed = parse_netlist(
+        "V1 in 0 SIN(0 1 1e6)\n\
+         R1 in out 1k\n\
+         C1 out 0 1n\n\
+         .tran 20n 2u\n\
+         .end",
+    )
+    .expect("valid netlist");
+    let mut circuit = parsed.circuit;
+    let mut system = circuit.elaborate().expect("elaborates");
+    let tran = parsed.tran.expect(".tran present");
+    let layout = TensorLayout::of(&system);
+    let step_bytes = (layout.g_pattern.nnz() + layout.c_pattern.nnz()) * 8;
+
+    let dir = scratch_dir("disk-full");
+    let mut store = DiskStore::create(&dir, None, layout.g_pattern.nnz(), layout.c_pattern.nnz())
+        .expect("spill file creates");
+    // Allow ~5 steps' worth of bytes, then fail like a full disk.
+    store.wrap_writer(|w| Box::new(FailingWriter::new(w, 5 * step_bytes)));
+    let mut record = ForwardRecord::with_store(layout, Box::new(store));
+
+    let err = transient(&circuit, &mut system, &tran, &mut record)
+        .expect_err("the injected fault must abort the transient");
+    match &err {
+        TranError::Sink { step, source, .. } => {
+            assert!(*step >= 1, "DC and a few steps fit in the byte budget");
+            assert!(
+                source.to_string().contains("injected disk-full fault"),
+                "error chain must carry the I/O cause, got: {source}"
+            );
+        }
+        other => panic!("expected TranError::Sink, got {other:?}"),
+    }
+    // The record still owns the spill file; dropping it must clean up.
+    assert_eq!(dir_entries(&dir), 1);
+    drop(record);
+    assert_eq!(dir_entries(&dir), 0);
+}
+
+/// Two records alive at once in the same directory must get distinct
+/// spill files (regression: the filename was `masc-jacobians-{pid}.bin`,
+/// so a second record silently clobbered the first).
+#[test]
+fn concurrent_records_use_distinct_spill_files() {
+    let p = pattern();
+    let dir = scratch_dir("concurrent");
+    let config = StoreConfig::Disk {
+        dir: dir.clone(),
+        bandwidth: None,
+    };
+    let mut first = ForwardRecord::new(layout(&p), &config).unwrap();
+    let mut second = ForwardRecord::new(layout(&p), &config).unwrap();
+    assert_eq!(dir_entries(&dir), 2, "each record needs its own file");
+    feed(&mut first, &p, 4);
+    feed(&mut second, &p, 7);
+    // Both round-trip independently: interleaved writes to a shared file
+    // would corrupt at least one of them.
+    for (record, steps) in [(first, 4usize), (second, 7usize)] {
+        let mut reader = record.into_reader().unwrap();
+        let mut expect = steps;
+        while let Some((step, StepMatrices::Stored { g, .. })) = reader.next_back().unwrap() {
+            expect -= 1;
+            assert_eq!(step, expect);
+            assert_eq!(g[0], step as f64);
+        }
+        assert_eq!(expect, 0);
+    }
+    assert_eq!(dir_entries(&dir), 0);
+}
+
+/// Records are `Send`: two threads can each run a disk-backed record in
+/// the same directory simultaneously.
+#[test]
+fn records_are_send_across_threads() {
+    let p = pattern();
+    let dir = scratch_dir("threads");
+    let config = StoreConfig::Disk {
+        dir: dir.clone(),
+        bandwidth: None,
+    };
+    let barrier = std::sync::Barrier::new(2);
+    std::thread::scope(|scope| {
+        for steps in [5usize, 9] {
+            let p = p.clone();
+            let config = config.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
+                barrier.wait(); // both spill files exist before either writes
+                feed(&mut record, &p, steps);
+                let mut reader = record.into_reader().unwrap();
+                let mut seen = 0;
+                while reader.next_back().unwrap().is_some() {
+                    seen += 1;
+                }
+                assert_eq!(seen, steps);
+            });
+        }
+    });
+    assert_eq!(dir_entries(&dir), 0);
+}
+
+/// A store that silently drops steps: the reader must report
+/// `StoreError::TensorTruncated` for the missing step instead of
+/// panicking with "G tensor shorter than step count".
+#[derive(Debug)]
+struct LossyStore {
+    inner: CompressedStore,
+    keep: usize,
+}
+
+impl JacobianStore for LossyStore {
+    fn put(&mut self, step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError> {
+        if step < self.keep {
+            self.inner.put(step, g, c)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.inner.resident_bytes()
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        self.inner.metrics()
+    }
+
+    fn metrics_mut(&mut self) -> &mut StoreMetrics {
+        self.inner.metrics_mut()
+    }
+
+    fn finish(self: Box<Self>) -> Result<Box<dyn BackwardReader>, StoreError> {
+        Box::new(self.inner).finish()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[test]
+fn truncated_tensor_yields_structured_error() {
+    let p = pattern();
+    let store = LossyStore {
+        inner: CompressedStore::new(p.clone(), p.clone(), MascConfig::default()),
+        keep: 3,
+    };
+    let mut record = ForwardRecord::with_store(layout(&p), Box::new(store));
+    feed(&mut record, &p, 6);
+    let mut reader = record.into_reader().unwrap();
+    // The newest recorded step (5) has no stored matrices.
+    let err = reader.next_back().expect_err("missing step must error");
+    assert!(
+        matches!(err, StoreError::TensorTruncated { step: 5 }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn fully_empty_tensor_with_recorded_steps_errors() {
+    let p = pattern();
+    let store = LossyStore {
+        inner: CompressedStore::new(p.clone(), p.clone(), MascConfig::default()),
+        keep: 0,
+    };
+    let mut record = ForwardRecord::with_store(layout(&p), Box::new(store));
+    feed(&mut record, &p, 4);
+    let mut reader = record.into_reader().unwrap();
+    let err = reader.next_back().expect_err("empty tensor must error");
+    assert!(
+        matches!(err, StoreError::TensorTruncated { step: 3 }),
+        "got {err:?}"
+    );
+}

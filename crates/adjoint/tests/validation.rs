@@ -193,6 +193,12 @@ fn all_stores_agree_exactly() {
             },
             StoreConfig::Compressed(MascConfig::default()),
             StoreConfig::Compressed(MascConfig::default().with_markov(false)),
+            StoreConfig::Hybrid {
+                dir: std::env::temp_dir().join("masc-validation"),
+                bandwidth: None,
+                resident_blocks: 3,
+                masc: MascConfig::default(),
+            },
         ];
         let mut results = Vec::new();
         for store in &stores {
@@ -241,10 +247,16 @@ fn compressed_store_is_smaller_than_raw() {
     // Tiny circuit: per-matrix headers blunt the ratio, but compression
     // must still win. (Realistic ratios are covered by the bench harness.)
     assert!(
-        masc.peak_storage_bytes < raw.peak_storage_bytes,
+        masc.store_metrics.peak_resident_bytes < raw.store_metrics.peak_resident_bytes,
         "compressed {} vs raw {}",
-        masc.peak_storage_bytes,
-        raw.peak_storage_bytes
+        masc.store_metrics.peak_resident_bytes,
+        raw.store_metrics.peak_resident_bytes
+    );
+    assert!(
+        masc.store_metrics.bytes_written < raw.store_metrics.bytes_written,
+        "compressed payload {} vs raw payload {}",
+        masc.store_metrics.bytes_written,
+        raw.store_metrics.bytes_written
     );
 }
 
@@ -344,5 +356,6 @@ fn recompute_reports_recompute_time() {
     )
     .unwrap();
     assert!(run.sensitivities.stats.recompute_time.as_nanos() > 0);
-    assert_eq!(run.peak_storage_bytes, 0);
+    assert_eq!(run.store_metrics.peak_resident_bytes, 0);
+    assert_eq!(run.store_metrics.bytes_written, 0);
 }

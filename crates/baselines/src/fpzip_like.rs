@@ -50,7 +50,7 @@ impl FpzipLike {
             return if i == 0 { 0 } else { values[i - 1].to_bits() };
         }
         let up = values[i - self.row_len];
-        if i % self.row_len == 0 {
+        if i.is_multiple_of(self.row_len) {
             // First column: same position in the previous row.
             return up.to_bits();
         }

@@ -6,7 +6,8 @@
 //! section contrasts.
 
 use crate::render_table;
-use masc_compress::{MascConfig, TensorCompressor};
+use masc_adjoint::{CompressedStore, JacobianStore};
+use masc_compress::MascConfig;
 use masc_datasets::registry::{DatasetSpec, Family};
 
 /// One point of the Fig. 1 sweep.
@@ -37,16 +38,23 @@ pub fn run(sizes: &[usize], steps: usize) -> Vec<Point> {
             steps,
         };
         let dataset = spec.generate(1.0).expect("sweep sizes generate");
-        let config = MascConfig::default();
-        let compress = |pattern: &std::sync::Arc<masc_sparse::Pattern>, series: &[Vec<f64>]| {
-            let mut tc = TensorCompressor::new(pattern.clone(), config.clone());
-            for m in series {
-                tc.push(m);
-            }
-            tc.finish().compressed_bytes()
-        };
-        let compressed_values = compress(&dataset.g_pattern, &dataset.g_series)
-            + compress(&dataset.c_pattern, &dataset.c_series);
+        // Drive the adjoint crate's compressed store through the
+        // JacobianStore trait; its unified StoreMetrics reports the
+        // committed compressed payload.
+        let mut store: Box<dyn JacobianStore> = Box::new(CompressedStore::new(
+            dataset.g_pattern.clone(),
+            dataset.c_pattern.clone(),
+            MascConfig::default(),
+        ));
+        for (step, (g, c)) in dataset.g_series.iter().zip(&dataset.c_series).enumerate() {
+            store
+                .put(step, g, c)
+                .expect("in-memory compression is infallible");
+        }
+        let reader = store
+            .finish()
+            .expect("sealing an in-memory store is infallible");
+        let compressed_values = reader.metrics().bytes_written as usize;
         let index_bytes = dataset.g_pattern.index_bytes() + dataset.c_pattern.index_bytes();
         out.push(Point {
             elements: dataset.elements,

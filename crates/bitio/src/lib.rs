@@ -278,7 +278,7 @@ impl<'a> BitReader<'a> {
         let mut value: u64 = 0;
         let mut remaining = n;
         // Unaligned head.
-        while self.bit_pos % 8 != 0 && remaining > 0 {
+        while !self.bit_pos.is_multiple_of(8) && remaining > 0 {
             let byte = self.bytes[self.bit_pos / 8];
             let shift = 7 - (self.bit_pos % 8);
             value = (value << 1) | u64::from((byte >> shift) & 1);

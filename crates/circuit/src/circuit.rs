@@ -373,6 +373,7 @@ impl System {
     /// # Panics
     ///
     /// Panics if buffer lengths differ from `self.n`.
+    #[allow(clippy::too_many_arguments)]
     pub fn param_deriv_into(
         &self,
         circuit: &Circuit,
@@ -408,6 +409,7 @@ impl System {
     /// # Panics
     ///
     /// Panics if buffer lengths differ from `self.n`.
+    #[allow(clippy::too_many_arguments)]
     pub fn param_deriv_sparse_into(
         &self,
         circuit: &Circuit,

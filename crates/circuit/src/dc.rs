@@ -72,8 +72,8 @@ pub fn dc_operating_point(
             stages += 1;
             let result = newton_solve(&mut stage_x, opts, &mut j, &mut r, |x, r, j| {
                 system.eval_into(circuit, x, 0.0, &mut ev);
-                for i in 0..n {
-                    r[i] = ev.f[i] + scale * ev.b[i];
+                for (ri, (fi, bi)) in r.iter_mut().zip(ev.f.iter().zip(&ev.b)) {
+                    *ri = fi + scale * bi;
                 }
                 j.values_mut().copy_from_slice(ev.g.values());
                 if gshunt > 0.0 {

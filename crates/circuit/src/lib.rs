@@ -54,5 +54,7 @@ pub use circuit::{Circuit, CircuitError, Evaluation, Node, ParamRef, System};
 pub use dc::{dc_operating_point, DcSolution};
 pub use devices::Device;
 pub use newton::{NewtonError, NewtonOptions};
-pub use transient::{transient, JacobianSink, NullSink, TranError, TranOptions, TranResult};
+pub use transient::{
+    transient, JacobianSink, NullSink, SinkError, TranError, TranOptions, TranResult,
+};
 pub use waveform::Waveform;

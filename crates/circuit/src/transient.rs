@@ -10,7 +10,41 @@ use crate::circuit::{Circuit, System};
 use crate::dc::{dc_operating_point, DcSolution};
 use crate::newton::{newton_solve, NewtonError, NewtonOptions};
 use masc_sparse::CsrMatrix;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A failure raised by a [`JacobianSink`] while persisting a step.
+///
+/// Sinks live above this crate (the adjoint crate's Jacobian stores), so
+/// the payload is an opaque boxed error: a full disk, a compressor fault —
+/// whatever kept the sink from accepting the step. The transient loop
+/// aborts with [`TranError::Sink`] instead of panicking.
+#[derive(Debug, Clone)]
+pub struct SinkError(Arc<dyn std::error::Error + Send + Sync + 'static>);
+
+impl SinkError {
+    /// Wraps the underlying failure.
+    pub fn new(source: impl std::error::Error + Send + Sync + 'static) -> Self {
+        Self(Arc::new(source))
+    }
+
+    /// The wrapped failure.
+    pub fn inner(&self) -> &(dyn std::error::Error + Send + Sync + 'static) {
+        self.0.as_ref()
+    }
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "jacobian sink failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.0.as_ref() as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// Observer of per-step Jacobians during forward integration.
 ///
@@ -19,7 +53,20 @@ use std::time::{Duration, Instant};
 /// matrices outlive the call — copy or compress what they need.
 pub trait JacobianSink {
     /// Called once per accepted step with the converged state and matrices.
-    fn on_step(&mut self, step: usize, t: f64, h: f64, x: &[f64], g: &CsrMatrix, c: &CsrMatrix);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkError`] when the step cannot be persisted (e.g. a
+    /// full disk); the transient loop aborts with [`TranError::Sink`].
+    fn on_step(
+        &mut self,
+        step: usize,
+        t: f64,
+        h: f64,
+        x: &[f64],
+        g: &CsrMatrix,
+        c: &CsrMatrix,
+    ) -> Result<(), SinkError>;
 }
 
 /// A sink that ignores everything (plain transient analysis).
@@ -27,7 +74,17 @@ pub trait JacobianSink {
 pub struct NullSink;
 
 impl JacobianSink for NullSink {
-    fn on_step(&mut self, _: usize, _: f64, _: f64, _: &[f64], _: &CsrMatrix, _: &CsrMatrix) {}
+    fn on_step(
+        &mut self,
+        _: usize,
+        _: f64,
+        _: f64,
+        _: &[f64],
+        _: &CsrMatrix,
+        _: &CsrMatrix,
+    ) -> Result<(), SinkError> {
+        Ok(())
+    }
 }
 
 /// Adaptive timestep controls (SPICE-style iteration-count heuristic).
@@ -94,7 +151,7 @@ impl TranOptions {
 }
 
 /// Errors from transient analysis.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum TranError {
     /// The DC operating point failed.
     Dc(NewtonError),
@@ -107,6 +164,15 @@ pub enum TranError {
         /// Underlying Newton failure.
         source: NewtonError,
     },
+    /// The Jacobian sink rejected an accepted step (e.g. a full disk).
+    Sink {
+        /// The step the sink rejected.
+        step: usize,
+        /// The time of the rejected step.
+        t: f64,
+        /// Underlying sink failure.
+        source: SinkError,
+    },
 }
 
 impl std::fmt::Display for TranError {
@@ -115,6 +181,9 @@ impl std::fmt::Display for TranError {
             TranError::Dc(e) => write!(f, "dc operating point failed: {e}"),
             TranError::Step { step, t, source } => {
                 write!(f, "transient step {step} at t = {t:.3e} failed: {source}")
+            }
+            TranError::Sink { step, t, source } => {
+                write!(f, "transient step {step} at t = {t:.3e}: {source}")
             }
         }
     }
@@ -189,7 +258,12 @@ pub fn transient<S: JacobianSink>(
 
     let mut ev = system.new_evaluation();
     system.eval_into(circuit, &x_prev, 0.0, &mut ev);
-    sink.on_step(0, 0.0, opts.dt, &x_prev, &ev.g, &ev.c);
+    sink.on_step(0, 0.0, opts.dt, &x_prev, &ev.g, &ev.c)
+        .map_err(|source| TranError::Sink {
+            step: 0,
+            t: 0.0,
+            source,
+        })?;
 
     let steps_estimate = opts.step_count();
     let mut times = Vec::with_capacity(steps_estimate + 1);
@@ -248,9 +322,12 @@ pub fn transient<S: JacobianSink>(
         stats.newton_iterations += newton.iterations;
         stats.lu_time += newton.lu_time;
 
-        // Refresh matrices at the converged point for the sink.
+        // Refresh matrices at the converged point for the sink. A sink
+        // failure aborts the whole run: the Newton accept path must not
+        // keep integrating past a state the reverse pass can never read.
         system.eval_into(circuit, &x, t, &mut ev);
-        sink.on_step(step, t, h_used, &x, &ev.g, &ev.c);
+        sink.on_step(step, t, h_used, &x, &ev.g, &ev.c)
+            .map_err(|source| TranError::Sink { step, t, source })?;
 
         q_prev.copy_from_slice(&ev.q);
         x_prev.copy_from_slice(&x);
@@ -404,9 +481,10 @@ mod tests {
                 _x: &[f64],
                 g: &CsrMatrix,
                 _c: &CsrMatrix,
-            ) {
+            ) -> Result<(), SinkError> {
                 self.calls.push((step, t));
                 self.nnz = g.nnz();
+                Ok(())
             }
         }
         let (ckt, mut sys) = rc_circuit(1000.0, 1e-6, 1.0);
@@ -417,6 +495,38 @@ mod tests {
         assert_eq!(sink.calls[0], (0, 0.0));
         assert_eq!(sink.calls.last().unwrap().0, 10);
         assert!(sink.nnz > 0);
+    }
+
+    #[test]
+    fn failing_sink_aborts_with_structured_error() {
+        struct FailAfter(usize);
+        impl JacobianSink for FailAfter {
+            fn on_step(
+                &mut self,
+                step: usize,
+                _: f64,
+                _: f64,
+                _: &[f64],
+                _: &CsrMatrix,
+                _: &CsrMatrix,
+            ) -> Result<(), SinkError> {
+                if step >= self.0 {
+                    Err(SinkError::new(std::io::Error::other("disk full")))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let (ckt, mut sys) = rc_circuit(1000.0, 1e-6, 1.0);
+        let opts = TranOptions::new(1e-3, 1e-4);
+        let err = transient(&ckt, &mut sys, &opts, &mut FailAfter(3)).unwrap_err();
+        match err {
+            TranError::Sink { step, source, .. } => {
+                assert_eq!(step, 3);
+                assert!(source.to_string().contains("disk full"));
+            }
+            other => panic!("expected sink error, got {other:?}"),
+        }
     }
 
     #[test]

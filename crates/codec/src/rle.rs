@@ -116,7 +116,7 @@ mod tests {
     fn mixed_runs() {
         let mut words = Vec::new();
         for block in 0..50u64 {
-            words.extend(std::iter::repeat(0).take((block % 7) as usize));
+            words.extend(std::iter::repeat_n(0, (block % 7) as usize));
             words.extend((0..block % 5).map(|i| i + 1));
         }
         let packed = encode_words(&words);

@@ -66,7 +66,9 @@ pub use matrix::{compress_matrix, decompress_matrix};
 pub use parallel::{compress_matrix_parallel, decompress_matrix_parallel};
 pub use predictor::{Region, StampMaps};
 pub use stats::{CompressStats, ModelClass};
-pub use tensor::{BackwardDecompressor, CompressedTensor, TensorCompressor};
+pub use tensor::{
+    decode_block, encode_block, BackwardDecompressor, CompressedTensor, TensorCompressor,
+};
 
 use crate::residual::ResidualError;
 use core::fmt;

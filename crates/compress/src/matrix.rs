@@ -86,6 +86,7 @@ fn region_warmups(
 /// `chunk_start` marks the first order position of the enclosing
 /// independently-decodable unit (equal to `range.start` for chunks, `0` for
 /// the serial whole-matrix codec).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_range(
     w: &mut BitWriter,
     values: &[f64],
@@ -347,6 +348,7 @@ mod tests {
         // smoothly. This is the structure the paper's 60 %-zero-residual
         // statistic reflects.
         let mut vals = vec![0.0; pattern.nnz()];
+        #[allow(clippy::needless_range_loop)]
         for r in 0..pattern.rows() {
             for k in pattern.row_ptr()[r]..pattern.row_ptr()[r + 1] {
                 let c = pattern.col_idx()[k];

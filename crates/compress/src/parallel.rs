@@ -189,41 +189,41 @@ pub fn decompress_matrix_parallel(
     } else {
         // Workers decode into compact per-chunk buffers; scatter after.
         let per = ranges.len().div_ceil(threads);
-        let results: Vec<Result<Vec<(usize, Vec<f64>)>, CompressError>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for tid in 0..threads {
-                    let ranges = &ranges;
-                    let lens = &lens;
-                    let offsets = &offsets;
-                    let params = &header.params;
-                    handles.push(scope.spawn(move || {
-                        let mut local = Vec::new();
-                        let mut scratch = vec![0.0f64; nnz];
-                        for i in (tid * per)..((tid + 1) * per).min(ranges.len()) {
-                            let payload = &bytes[offsets[i]..offsets[i] + lens[i]];
-                            decode_chunk_into(
-                                &mut scratch,
-                                payload,
-                                reference,
-                                maps,
-                                params,
-                                ranges[i].clone(),
-                            )?;
-                            let compact: Vec<f64> = ranges[i]
-                                .clone()
-                                .map(|p| scratch[maps.order()[p]])
-                                .collect();
-                            local.push((i, compact));
-                        }
-                        Ok(local)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
+        type ChunkValues = Vec<(usize, Vec<f64>)>;
+        let results: Vec<Result<ChunkValues, CompressError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for tid in 0..threads {
+                let ranges = &ranges;
+                let lens = &lens;
+                let offsets = &offsets;
+                let params = &header.params;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut scratch = vec![0.0f64; nnz];
+                    for i in (tid * per)..((tid + 1) * per).min(ranges.len()) {
+                        let payload = &bytes[offsets[i]..offsets[i] + lens[i]];
+                        decode_chunk_into(
+                            &mut scratch,
+                            payload,
+                            reference,
+                            maps,
+                            params,
+                            ranges[i].clone(),
+                        )?;
+                        let compact: Vec<f64> = ranges[i]
+                            .clone()
+                            .map(|p| scratch[maps.order()[p]])
+                            .collect();
+                        local.push((i, compact));
+                    }
+                    Ok(local)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
         for result in results {
             for (i, compact) in result? {
                 for (p, v) in ranges[i].clone().zip(compact) {

@@ -44,6 +44,33 @@ fn decompress_dispatch(
     }
 }
 
+/// Compresses one matrix into a standalone block against `reference`
+/// (block-level byte API: tiered stores move these blocks between memory
+/// and disk without re-encoding).
+pub fn encode_block(
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> (Vec<u8>, CompressStats) {
+    compress_dispatch(values, reference, maps, config)
+}
+
+/// Decodes one compressed block against `reference` (the newest block of a
+/// tensor was encoded against an all-zero reference).
+///
+/// # Errors
+///
+/// Returns [`CompressError`] if the block fails to decode.
+pub fn decode_block(
+    bytes: &[u8],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> Result<Vec<f64>, CompressError> {
+    decompress_dispatch(bytes, reference, maps, config)
+}
+
 /// Streaming compressor for a time series of same-pattern matrices.
 #[derive(Debug, Clone)]
 pub struct TensorCompressor {
@@ -95,6 +122,11 @@ impl TensorCompressor {
     /// The shared stamp maps.
     pub fn maps(&self) -> &Arc<StampMaps> {
         &self.maps
+    }
+
+    /// The compressor configuration.
+    pub fn config(&self) -> MascConfig {
+        self.config.clone()
     }
 
     /// Accepts the matrix of the next timestep (paper Algorithm 2 line 6:
@@ -151,9 +183,33 @@ impl TensorCompressor {
         self.compress_time
     }
 
-    /// Finalizes the tensor. The trailing matrix is compressed against a
-    /// zero reference so the whole tensor is compressed at rest.
-    pub fn finish(mut self) -> CompressedTensor {
+    /// Number of *sealed* compressed blocks (excludes the raw pending
+    /// matrix). Block `t` holds `M_t` compressed against `M_{t+1}`.
+    pub fn sealed_len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The compressed bytes of sealed block `t`, if it exists and has not
+    /// been moved out with [`take_block`](Self::take_block).
+    pub fn compressed_block(&self, t: usize) -> Option<&[u8]> {
+        self.blocks.get(t).map(Vec::as_slice)
+    }
+
+    /// Moves sealed block `t` out of the compressor (a tiered store spills
+    /// it to a slower tier), leaving an empty placeholder so later block
+    /// indices are unaffected. Returns `None` for an unsealed or
+    /// already-taken block.
+    pub fn take_block(&mut self, t: usize) -> Option<Vec<u8>> {
+        match self.blocks.get_mut(t) {
+            Some(b) if !b.is_empty() => Some(std::mem::take(b)),
+            _ => None,
+        }
+    }
+
+    /// Seals the trailing pending matrix by compressing it against a zero
+    /// reference, leaving the compressor usable for block extraction. No-op
+    /// when nothing is pending.
+    pub fn seal(&mut self) {
         if let Some(last) = self.pending.take() {
             let zeros = vec![0.0; self.pattern.nnz()];
             let start = Instant::now();
@@ -162,6 +218,12 @@ impl TensorCompressor {
             self.stats.merge(&stats);
             self.blocks.push(bytes);
         }
+    }
+
+    /// Finalizes the tensor. The trailing matrix is compressed against a
+    /// zero reference so the whole tensor is compressed at rest.
+    pub fn finish(mut self) -> CompressedTensor {
+        self.seal();
         CompressedTensor {
             pattern: self.pattern,
             maps: self.maps,
@@ -280,9 +342,48 @@ pub struct BackwardDecompressor {
 }
 
 impl BackwardDecompressor {
+    /// Creates an *empty* chained decoder: it owns no blocks, and callers
+    /// feed compressed bytes newest-first through
+    /// [`decode_block`](Self::decode_block). Tiered stores use this to
+    /// decode blocks pulled from memory or disk interchangeably.
+    pub fn chained(pattern: &Arc<Pattern>, maps: Arc<StampMaps>, config: MascConfig) -> Self {
+        Self {
+            maps,
+            config,
+            nnz: pattern.nnz(),
+            blocks: Vec::new(),
+            reference: None,
+            decompress_time: Duration::ZERO,
+        }
+    }
+
     /// Steps remaining.
     pub fn remaining(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Decodes one externally supplied block against the decoder's
+    /// reference chain (zeros for the first/newest block), advancing the
+    /// chain. Blocks must arrive newest-first, exactly as the matching
+    /// compressor sealed them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError`] if the block fails to decode.
+    pub fn decode_block(&mut self, bytes: &[u8]) -> Result<Vec<f64>, CompressError> {
+        let zeros;
+        let reference: &[f64] = match &self.reference {
+            Some(r) => r,
+            None => {
+                zeros = vec![0.0; self.nnz];
+                &zeros
+            }
+        };
+        let start = Instant::now();
+        let values = decompress_dispatch(bytes, reference, &self.maps, &self.config)?;
+        self.decompress_time += start.elapsed();
+        self.reference = Some(values.clone());
+        Ok(values)
     }
 
     /// Decompresses and yields the next matrix, newest first. Returns
@@ -297,18 +398,7 @@ impl BackwardDecompressor {
             return Ok(None);
         };
         let step = self.blocks.len();
-        let zeros;
-        let reference: &[f64] = match &self.reference {
-            Some(r) => r,
-            None => {
-                zeros = vec![0.0; self.nnz];
-                &zeros
-            }
-        };
-        let start = Instant::now();
-        let values = decompress_dispatch(&block, reference, &self.maps, &self.config)?;
-        self.decompress_time += start.elapsed();
-        self.reference = Some(values.clone());
+        let values = self.decode_block(&block)?;
         Ok(Some((step, values)))
     }
 

@@ -101,8 +101,7 @@ impl DenseMatrix {
             piv.swap(k, prow);
             let pk = piv[k];
             let diag = a[pk * n + k];
-            for r in (k + 1)..n {
-                let pr = piv[r];
+            for &pr in &piv[(k + 1)..n] {
                 let factor = a[pr * n + k] / diag;
                 if factor == 0.0 {
                     continue;

@@ -205,8 +205,7 @@ impl LuFactors {
             let col = q[j];
             // --- Symbolic: compute reach of A(:, col) in the graph of L.
             topo.clear();
-            for k in csc_colptr[col]..csc_colptr[col + 1] {
-                let r0 = csc_rowidx[k];
+            for &r0 in &csc_rowidx[csc_colptr[col]..csc_colptr[col + 1]] {
                 if mark[r0] == j {
                     continue;
                 }

@@ -18,8 +18,7 @@ pub fn rcm_order(pattern: &Pattern) -> Vec<usize> {
     let rp = pattern.row_ptr();
     let ci = pattern.col_idx();
     for r in 0..n {
-        for k in rp[r]..rp[r + 1] {
-            let c = ci[k];
+        for &c in &ci[rp[r]..rp[r + 1]] {
             if c == r || c >= n {
                 continue;
             }
@@ -73,8 +72,7 @@ pub fn bandwidth(pattern: &Pattern, perm: &[usize]) -> usize {
     let ci = pattern.col_idx();
     let mut bw = 0usize;
     for r in 0..n {
-        for k in rp[r]..rp[r + 1] {
-            let c = ci[k];
+        for &c in &ci[rp[r]..rp[r + 1]] {
             if c < n {
                 bw = bw.max(inv[r].abs_diff(inv[c]));
             }

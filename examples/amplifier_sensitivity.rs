@@ -127,7 +127,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{label:<36} reverse {:>8.3} ms   peak storage {:>9.1} kB",
             run.sensitivities.stats.total_time.as_secs_f64() * 1e3,
-            run.peak_storage_bytes as f64 / 1e3,
+            run.store_metrics.peak_resident_bytes as f64 / 1e3,
         );
         match &reference {
             None => reference = Some(run.sensitivities.values),

@@ -69,7 +69,7 @@ C1 out 0 1n
     println!(
         "reverse: {:.3} ms; peak Jacobian storage {:.1} kB (compressed)",
         run.sensitivities.stats.total_time.as_secs_f64() * 1e3,
-        run.peak_storage_bytes as f64 / 1e3
+        run.store_metrics.peak_resident_bytes as f64 / 1e3
     );
     Ok(())
 }

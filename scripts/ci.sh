@@ -11,6 +11,7 @@ run() {
 }
 
 run cargo fmt --all --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --release --offline --workspace --benches
 run cargo test -q --offline --workspace
 
