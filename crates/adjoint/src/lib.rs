@@ -61,8 +61,9 @@ pub use fd::{finite_difference, objective_value, FdError};
 pub use objective::Objective;
 pub use store::{
     BackwardJacobians, BackwardReader, CompressedStore, DiskStore, DurationHistogram,
-    FailingWriter, ForwardRecord, HybridStore, JacobianStore, RawStore, RecomputeStore, RunMeta,
-    StepMatrices, StoreConfig, StoreError, StoreMetrics, TensorLayout,
+    FailingWriter, ForwardRecord, HybridStore, JacobianStore, PipelinedStore, PrefetchReader,
+    RawStore, RecomputeStore, RunMeta, StepMatrices, StoreConfig, StoreError, StoreMetrics,
+    TensorLayout,
 };
 
 use masc_circuit::transient::{transient, TranError, TranOptions, TranStats};

@@ -4,8 +4,8 @@
 //! A [`ForwardRecord`] plugs into the transient analysis as a
 //! [`JacobianSink`] and captures, per accepted step, the solution `x_n`,
 //! step size `h_n`, and — through a pluggable [`JacobianStore`] backend —
-//! the `G`/`C` matrices. Five backends ship in [`backends`] and
-//! [`hybrid`]:
+//! the `G`/`C` matrices. Five backends ship here, plus an asynchronous
+//! wrapper:
 //!
 //! - [`RecomputeStore`] — store nothing; the reverse pass re-evaluates
 //!   every device (Xyce-like; the `T_Jac` cost of Table 1).
@@ -18,6 +18,9 @@
 //! - [`HybridStore`] — the most recent K *compressed* blocks stay in
 //!   memory; older blocks spill to disk as compressed bytes, so the
 //!   paper's compression ratio multiplies the effective disk bandwidth.
+//! - [`PipelinedStore`] — wraps any backend, moving compression + spill
+//!   I/O onto a worker thread behind a bounded queue and prefetching the
+//!   reverse pass through a [`PrefetchReader`] (DESIGN.md §3.8).
 //!
 //! Custom backends implement [`JacobianStore`] + [`BackwardReader`] and
 //! plug in through [`ForwardRecord::with_store`]. Every backend carries a
@@ -28,10 +31,12 @@
 mod backends;
 mod hybrid;
 mod metrics;
+mod pipelined;
 
 pub use backends::{CompressedStore, DiskStore, FailingWriter, RawStore, RecomputeStore};
 pub use hybrid::HybridStore;
 pub use metrics::{DurationHistogram, StoreMetrics};
+pub use pipelined::{PipelinedStore, PrefetchReader};
 
 use masc_circuit::transient::{JacobianSink, SinkError};
 use masc_circuit::System;
@@ -69,6 +74,19 @@ pub enum StoreConfig {
         /// Compressor configuration.
         masc: MascConfig,
     },
+    /// Any other backend behind an asynchronous pipeline: compression and
+    /// spill I/O run on a worker thread fed by a bounded channel, and the
+    /// reverse pass prefetches/decodes block `t − 1` while the adjoint
+    /// solve consumes block `t`.
+    Pipelined {
+        /// The wrapped synchronous backend.
+        inner: Box<StoreConfig>,
+        /// Bounded channel capacity, in steps (`put` blocks when full —
+        /// the backpressure that keeps memory bounded).
+        queue_depth: usize,
+        /// Reverse-pass prefetch window, in decoded steps.
+        lookahead: usize,
+    },
 }
 
 impl StoreConfig {
@@ -79,6 +97,16 @@ impl StoreConfig {
             bandwidth,
             resident_blocks: 8,
             masc: MascConfig::default(),
+        }
+    }
+
+    /// Wraps `inner` in the asynchronous pipeline with default bounds
+    /// (double-buffered: a 2-step queue and a 2-step prefetch window).
+    pub fn pipelined(inner: StoreConfig) -> Self {
+        StoreConfig::Pipelined {
+            inner: Box::new(inner),
+            queue_depth: 2,
+            lookahead: 2,
         }
     }
 
@@ -118,6 +146,15 @@ impl StoreConfig {
                 *bandwidth,
                 *resident_blocks,
             )?),
+            StoreConfig::Pipelined {
+                inner,
+                queue_depth,
+                lookahead,
+            } => Box::new(PipelinedStore::spawn(
+                inner.build(layout)?,
+                *queue_depth,
+                *lookahead,
+            )),
         })
     }
 }
@@ -134,6 +171,16 @@ pub enum StoreError {
         /// The step whose matrices were missing.
         step: usize,
     },
+    /// The asynchronous pipeline worker failed while persisting a step
+    /// that `put` had already accepted. `step` is the step the *worker*
+    /// was persisting when it failed, which may be earlier than the step
+    /// the forward loop had reached when the error surfaced.
+    Worker {
+        /// The step whose persist failed inside the worker.
+        step: usize,
+        /// The underlying store failure.
+        source: Box<StoreError>,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -144,11 +191,23 @@ impl std::fmt::Display for StoreError {
             StoreError::TensorTruncated { step } => {
                 write!(f, "jacobian tensor has no matrices for step {step}")
             }
+            StoreError::Worker { step, source } => {
+                write!(f, "pipeline worker failed at step {step}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Compress(e) => Some(e),
+            StoreError::TensorTruncated { .. } => None,
+            StoreError::Worker { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
 
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
@@ -255,6 +314,19 @@ pub trait JacobianStore: std::fmt::Debug + Send {
     ///
     /// Returns [`StoreError`] when the step cannot be persisted.
     fn put(&mut self, step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError>;
+
+    /// Blocks until every step accepted so far is durably persisted.
+    /// Synchronous backends are always caught up; the pipelined adapter
+    /// drains its queue here so a deferred persist failure surfaces
+    /// before the forward pass completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] (typically [`StoreError::Worker`]) if a
+    /// previously accepted step failed to persist.
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
 
     /// Current storage footprint in bytes (matrix data only, all tiers).
     fn resident_bytes(&self) -> usize;
@@ -447,6 +519,10 @@ impl JacobianSink for ForwardRecord {
         m.record_put(elapsed);
         m.note_resident(resident);
         Ok(())
+    }
+
+    fn on_finish(&mut self) -> Result<(), SinkError> {
+        self.store.sync().map_err(SinkError::new)
     }
 }
 

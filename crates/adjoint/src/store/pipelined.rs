@@ -1,0 +1,417 @@
+//! The asynchronous pipelined store adapter (and its prefetching
+//! reverse-pass counterpart).
+//!
+//! [`PipelinedStore`] wraps any synchronous [`JacobianStore`] and moves
+//! compression + spill I/O onto a dedicated worker thread, fed through a
+//! *bounded* channel: while the Newton solver works on step `n + 1`, the
+//! worker compresses and writes step `n`. The channel bound is the
+//! backpressure policy — when the worker falls behind, `put` blocks
+//! instead of buffering unboundedly, so the raw-matrix footprint stays at
+//! `queue_depth` steps no matter how slow the disk is.
+//!
+//! The worker is intentionally a *single* thread: MASC's block chain
+//! compresses `M_{t−1}` against `M_t` (paper Algorithm 2), so blocks must
+//! be encoded in step order to keep the stream byte-identical to the
+//! synchronous path. Parallelism inside one matrix still applies — the
+//! wrapped backend uses `compress_matrix_parallel`'s chunk layout when
+//! `MascConfig::threads > 1` — the pipeline only adds *overlap* between
+//! the solver and the store, never a reordering.
+//!
+//! On the reverse pass, [`PrefetchReader`] runs the wrapped
+//! [`BackwardReader`] on its own thread and decodes block `t − 1` while
+//! the adjoint solve consumes block `t`, again through a bounded channel
+//! (`lookahead` decoded steps). Fetches served without waiting count as
+//! `prefetch_hits` in [`StoreMetrics`]; fetches that had to wait record
+//! `prefetch_misses` and `prefetch_wait`.
+//!
+//! Worker failures never panic and are never dropped: the first error is
+//! parked in a shared slot, the worker exits (disconnecting the channel),
+//! and the next `put`/`sync`/`finish` surfaces it as
+//! [`StoreError::Worker`] carrying the step whose persist actually
+//! failed. `ForwardRecord`'s `on_finish` hook drains the queue at the end
+//! of the transient, so even an error on the very last queued step aborts
+//! the run as `TranError::Sink`.
+
+use super::{BackwardReader, JacobianStore, StepMatrices, StoreError, StoreMetrics};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One unit of forward-pass work for the pipeline worker.
+enum Job {
+    /// Persist one step's compact value arrays.
+    Put {
+        step: usize,
+        g: Vec<f64>,
+        c: Vec<f64>,
+    },
+    /// Barrier: acknowledge once every earlier job is persisted.
+    Sync(mpsc::Sender<()>),
+}
+
+/// State shared between the forward loop and the pipeline worker.
+#[derive(Debug, Default)]
+struct Shared {
+    /// The wrapped store's `resident_bytes`, republished after each job.
+    inner_resident: AtomicUsize,
+    /// Raw payload bytes currently queued (accepted but not yet persisted).
+    queued_bytes: AtomicUsize,
+    /// Jobs currently in flight (queued or being persisted).
+    queued_jobs: AtomicUsize,
+    /// First worker failure: the failing step and its error.
+    error: Mutex<Option<(usize, StoreError)>>,
+}
+
+/// Locks the error slot, surviving a poisoned mutex (the slot itself is
+/// always in a valid state: the worker writes it in one assignment).
+fn lock_error(shared: &Shared) -> std::sync::MutexGuard<'_, Option<(usize, StoreError)>> {
+    match shared.error.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn worker_gone() -> StoreError {
+    StoreError::Io(std::io::Error::other("pipeline worker exited unexpectedly"))
+}
+
+/// Persists jobs in arrival (= step) order until the channel closes or a
+/// job fails; returns the wrapped store to the joining thread either way.
+fn run_worker(
+    mut store: Box<dyn JacobianStore>,
+    rx: &Receiver<Job>,
+    shared: &Shared,
+) -> Box<dyn JacobianStore> {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Put { step, g, c } => {
+                let bytes = (g.len() + c.len()) * 8;
+                let result = store.put(step, &g, &c);
+                shared
+                    .inner_resident
+                    .store(store.resident_bytes(), Ordering::SeqCst);
+                shared.queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
+                shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
+                if let Err(e) = result {
+                    let mut slot = lock_error(shared);
+                    if slot.is_none() {
+                        *slot = Some((step, e));
+                    }
+                    // Exiting drops `rx`, so the producer's next send
+                    // fails fast instead of filling a dead queue.
+                    break;
+                }
+            }
+            Job::Sync(ack) => {
+                let _ = ack.send(());
+            }
+        }
+    }
+    store
+}
+
+/// Runs any [`JacobianStore`] behind a bounded asynchronous pipeline.
+///
+/// Build one through [`StoreConfig::Pipelined`](super::StoreConfig) or
+/// directly with [`PipelinedStore::spawn`]. The compressed output is
+/// byte-identical to the wrapped backend run synchronously — the pipeline
+/// changes *when* compression happens, never its input order.
+#[derive(Debug)]
+pub struct PipelinedStore {
+    tx: Option<SyncSender<Job>>,
+    worker: Option<JoinHandle<Box<dyn JacobianStore>>>,
+    shared: Arc<Shared>,
+    wants: bool,
+    lookahead: usize,
+    /// Steps accepted so far (drives the reverse-pass prefetch schedule).
+    steps: usize,
+    /// Producer-side telemetry, merged into the reader at `finish`.
+    metrics: StoreMetrics,
+}
+
+impl PipelinedStore {
+    /// Spawns the worker thread around `inner`.
+    ///
+    /// `queue_depth` bounds the put channel in steps (0 is a rendezvous
+    /// channel: every `put` waits for the worker to pick the step up);
+    /// `lookahead` bounds the reverse-pass prefetch window in decoded
+    /// steps.
+    pub fn spawn(inner: Box<dyn JacobianStore>, queue_depth: usize, lookahead: usize) -> Self {
+        let wants = inner.wants_matrices();
+        let shared = Arc::new(Shared::default());
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_worker(inner, &rx, &shared))
+        };
+        Self {
+            tx: Some(tx),
+            worker: Some(worker),
+            shared,
+            wants,
+            lookahead: lookahead.max(1),
+            steps: 0,
+            metrics: StoreMetrics::default(),
+        }
+    }
+
+    /// Takes the parked worker failure, wrapped as [`StoreError::Worker`].
+    fn take_error(&self) -> Option<StoreError> {
+        lock_error(&self.shared)
+            .take()
+            .map(|(step, e)| StoreError::Worker {
+                step,
+                source: Box::new(e),
+            })
+    }
+}
+
+impl JacobianStore for PipelinedStore {
+    fn wants_matrices(&self) -> bool {
+        self.wants
+    }
+
+    fn put(&mut self, step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError> {
+        if let Some(e) = self.take_error() {
+            return Err(e);
+        }
+        self.steps = self.steps.max(step + 1);
+        let bytes = (g.len() + c.len()) * 8;
+        let job = Job::Put {
+            step,
+            g: g.to_vec(),
+            c: c.to_vec(),
+        };
+        self.shared.queued_bytes.fetch_add(bytes, Ordering::SeqCst);
+        let depth = self.shared.queued_jobs.fetch_add(1, Ordering::SeqCst) + 1;
+        self.metrics.max_queue_depth = self.metrics.max_queue_depth.max(depth);
+        let tx = self.tx.as_ref().ok_or_else(worker_gone)?;
+        let sent = match tx.try_send(job) {
+            Ok(()) => true,
+            Err(TrySendError::Full(job)) => {
+                // Backpressure: the worker is behind; block (bounded
+                // memory) and account the stall.
+                let start = Instant::now();
+                let sent = tx.send(job).is_ok();
+                self.metrics.backpressure_wait += start.elapsed();
+                sent
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        };
+        if !sent {
+            self.shared.queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            self.shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
+            return Err(self.take_error().unwrap_or_else(worker_gone));
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(e) = self.take_error() {
+            return Err(e);
+        }
+        let Some(tx) = self.tx.as_ref() else {
+            return Ok(());
+        };
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if tx.send(Job::Sync(ack_tx)).is_ok() && ack_rx.recv().is_ok() {
+            return Ok(());
+        }
+        // The worker exited before acknowledging: its parked error says
+        // which step failed.
+        Err(self.take_error().unwrap_or_else(worker_gone))
+    }
+
+    fn resident_bytes(&self) -> usize {
+        // Queued raw payloads are part of the footprint the backpressure
+        // bound exists to cap — count them alongside the wrapped store.
+        self.shared.inner_resident.load(Ordering::SeqCst)
+            + self.shared.queued_bytes.load(Ordering::SeqCst)
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut StoreMetrics {
+        &mut self.metrics
+    }
+
+    fn finish(mut self: Box<Self>) -> Result<Box<dyn BackwardReader>, StoreError> {
+        drop(self.tx.take());
+        let worker = self.worker.take().ok_or_else(worker_gone)?;
+        let inner = worker
+            .join()
+            .map_err(|_| StoreError::Io(std::io::Error::other("pipeline worker panicked")))?;
+        if let Some(e) = self.take_error() {
+            return Err(e);
+        }
+        let mut reader = inner.finish()?;
+        reader.metrics_mut().merge(&self.metrics);
+        Ok(Box::new(PrefetchReader::spawn(
+            reader,
+            self.steps,
+            self.lookahead,
+        )))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+impl Drop for PipelinedStore {
+    fn drop(&mut self) {
+        // Join-on-drop: an abandoned record (e.g. a transient abort) must
+        // not leak the worker thread or the wrapped store's spill file.
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One prefetched reverse-pass step, in the order the sweep will ask.
+type Prefetched = (usize, Result<StepMatrices, StoreError>);
+
+/// Decodes steps `N−1, N−2, …, 0` ahead of the consumer.
+fn run_prefetch(
+    mut inner: Box<dyn BackwardReader>,
+    tx: &SyncSender<Prefetched>,
+    steps: usize,
+) -> Box<dyn BackwardReader> {
+    for step in (0..steps).rev() {
+        let result = inner.fetch(step);
+        let failed = result.is_err();
+        if tx.send((step, result)).is_err() || failed {
+            break;
+        }
+    }
+    inner
+}
+
+/// Lookahead wrapper over any [`BackwardReader`]: a worker thread decodes
+/// block `t − 1` while the adjoint solve consumes block `t`.
+///
+/// The worker follows the adjoint recursion's access order (strictly
+/// decreasing steps), holds at most `lookahead` decoded steps, and hands
+/// the wrapped reader back when the sweep completes, errors, or the
+/// wrapper is dropped — so spill-file cleanup and the final
+/// [`StoreMetrics`] picture work exactly as in the synchronous path.
+#[derive(Debug)]
+pub struct PrefetchReader {
+    rx: Option<Receiver<Prefetched>>,
+    worker: Option<JoinHandle<Box<dyn BackwardReader>>>,
+    /// The wrapped reader, back in hand once the worker has been joined.
+    inner: Option<Box<dyn BackwardReader>>,
+    metrics: StoreMetrics,
+}
+
+impl PrefetchReader {
+    /// Spawns the prefetch worker over `inner` for a record of `steps`
+    /// steps, buffering up to `lookahead` decoded steps.
+    pub fn spawn(inner: Box<dyn BackwardReader>, steps: usize, lookahead: usize) -> Self {
+        let mut this = Self {
+            rx: None,
+            worker: None,
+            inner: None,
+            metrics: StoreMetrics::default(),
+        };
+        if steps == 0 {
+            // Nothing to prefetch; keep the reader in hand.
+            this.metrics.merge(inner.metrics());
+            this.inner = Some(inner);
+            return this;
+        }
+        let (tx, rx) = mpsc::sync_channel::<Prefetched>(lookahead.max(1));
+        this.rx = Some(rx);
+        this.worker = Some(std::thread::spawn(move || run_prefetch(inner, &tx, steps)));
+        this
+    }
+
+    /// Stops the worker and takes the wrapped reader (and its metrics)
+    /// back. Dropping `rx` first unblocks a worker stuck on a full
+    /// channel.
+    fn join_worker(&mut self) {
+        drop(self.rx.take());
+        if let Some(worker) = self.worker.take() {
+            if let Ok(inner) = worker.join() {
+                self.metrics.merge(inner.metrics());
+                self.inner = Some(inner);
+            }
+        }
+    }
+}
+
+impl BackwardReader for PrefetchReader {
+    fn fetch(&mut self, step: usize) -> Result<StepMatrices, StoreError> {
+        if self.worker.is_none() {
+            // Prefetch already wound down (step 0 served, or an earlier
+            // error): serve stragglers straight from the wrapped reader.
+            let inner = self.inner.as_mut().ok_or_else(worker_gone)?;
+            return inner.fetch(step);
+        }
+        let Some(rx) = self.rx.as_ref() else {
+            return Err(worker_gone());
+        };
+        let (got, result) = match rx.try_recv() {
+            Ok(item) => {
+                self.metrics.prefetch_hits += 1;
+                item
+            }
+            Err(TryRecvError::Empty) => {
+                let start = Instant::now();
+                let item = rx.recv();
+                self.metrics.prefetch_wait += start.elapsed();
+                self.metrics.prefetch_misses += 1;
+                match item {
+                    Ok(item) => item,
+                    Err(_) => {
+                        self.join_worker();
+                        return Err(worker_gone());
+                    }
+                }
+            }
+            Err(TryRecvError::Disconnected) => {
+                self.join_worker();
+                return Err(worker_gone());
+            }
+        };
+        // After the last step (or a failure) the worker is done — join it
+        // so the final metrics include the wrapped reader's telemetry.
+        if got == 0 || result.is_err() {
+            self.join_worker();
+        }
+        if got != step {
+            return Err(StoreError::Io(std::io::Error::other(format!(
+                "prefetch order violated: decoded step {got}, caller asked for {step}"
+            ))));
+        }
+        result
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut StoreMetrics {
+        &mut self.metrics
+    }
+
+    fn cleanup(&mut self) {
+        self.join_worker();
+        if let Some(inner) = self.inner.as_mut() {
+            inner.cleanup();
+        }
+    }
+}
+
+impl Drop for PrefetchReader {
+    fn drop(&mut self) {
+        // Join-on-drop: never leak the prefetch thread (or the spill file
+        // owned by the reader it holds).
+        self.join_worker();
+    }
+}

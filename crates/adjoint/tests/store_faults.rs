@@ -239,3 +239,146 @@ fn fully_empty_tensor_with_recorded_steps_errors() {
         "got {err:?}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Faults through the asynchronous pipeline
+// ---------------------------------------------------------------------------
+
+/// A disk-full fault inside the *pipeline worker* must surface exactly
+/// like the synchronous case — as `TranError::Sink`, never a panic or a
+/// silent drop — and the error chain must carry a
+/// `StoreError::Worker { step }` naming the step whose persist actually
+/// failed (the forward loop may already be a few steps ahead when the
+/// failure is noticed).
+#[test]
+fn pipelined_transient_surfaces_disk_full_as_sink_error() {
+    use masc_adjoint::store::PipelinedStore;
+
+    let parsed = parse_netlist(
+        "V1 in 0 SIN(0 1 1e6)\n\
+         R1 in out 1k\n\
+         C1 out 0 1n\n\
+         .tran 20n 2u\n\
+         .end",
+    )
+    .expect("valid netlist");
+    let mut circuit = parsed.circuit;
+    let mut system = circuit.elaborate().expect("elaborates");
+    let tran = parsed.tran.expect(".tran present");
+    let layout = TensorLayout::of(&system);
+    let step_bytes = (layout.g_pattern.nnz() + layout.c_pattern.nnz()) * 8;
+
+    let dir = scratch_dir("piped-disk-full");
+    let mut store = DiskStore::create(&dir, None, layout.g_pattern.nnz(), layout.c_pattern.nnz())
+        .expect("spill file creates");
+    // Steps 0..=4 fit exactly; the worker's write for step 5 fails.
+    store.wrap_writer(|w| Box::new(FailingWriter::new(w, 5 * step_bytes)));
+    let piped = PipelinedStore::spawn(Box::new(store), 2, 2);
+    let mut record = ForwardRecord::with_store(layout, Box::new(piped));
+
+    let err = transient(&circuit, &mut system, &tran, &mut record)
+        .expect_err("the injected fault must abort the transient");
+    match &err {
+        TranError::Sink { step, source, .. } => {
+            assert!(
+                *step >= 5,
+                "the forward loop cannot notice before the failing step, got {step}"
+            );
+            assert!(
+                source.to_string().contains("injected disk-full fault"),
+                "error chain must carry the I/O cause, got: {source}"
+            );
+            let store_err = source
+                .inner()
+                .downcast_ref::<StoreError>()
+                .expect("sink error wraps a StoreError");
+            match store_err {
+                StoreError::Worker { step, .. } => {
+                    assert_eq!(*step, 5, "the worker names the step whose persist failed")
+                }
+                other => panic!("expected StoreError::Worker, got {other:?}"),
+            }
+        }
+        other => panic!("expected TranError::Sink, got {other:?}"),
+    }
+    // Abort path: dropping the record joins the worker and removes the
+    // spill file.
+    assert_eq!(dir_entries(&dir), 1);
+    drop(record);
+    assert_eq!(dir_entries(&dir), 0);
+}
+
+/// A worker failure *after the last accepted step's `on_step` returned*
+/// must still abort the transient: `on_finish` drains the queue.
+#[test]
+fn pipelined_fault_on_final_queued_step_still_aborts() {
+    use masc_adjoint::store::PipelinedStore;
+
+    let p = pattern();
+    let lay = layout(&p);
+    let step_bytes = 2 * p.nnz() * 8;
+    let dir = scratch_dir("piped-late-fault");
+    let mut store = DiskStore::create(&dir, None, p.nnz(), p.nnz()).expect("spill file creates");
+    // Allow every step except the very last one.
+    store.wrap_writer(|w| Box::new(FailingWriter::new(w, 3 * step_bytes)));
+    let piped = PipelinedStore::spawn(Box::new(store), 8, 2);
+    let mut record = ForwardRecord::with_store(lay, Box::new(piped));
+    // With a deep queue, all four puts are accepted before the worker
+    // reaches the failing write.
+    feed(&mut record, &p, 4);
+    let err = JacobianSink::on_finish(&mut record).expect_err("drain must surface the fault");
+    assert!(
+        err.to_string().contains("injected disk-full fault"),
+        "got: {err}"
+    );
+    drop(record);
+    assert_eq!(dir_entries(&dir), 0);
+}
+
+/// Join-on-drop: abandoning a pipelined record mid-run must terminate the
+/// worker thread and release the wrapped store (proven by the spill file
+/// disappearing — only the store's drop removes it).
+#[test]
+fn dropped_pipelined_record_joins_worker_and_cleans_up() {
+    let p = pattern();
+    let dir = scratch_dir("piped-abandoned");
+    let config = StoreConfig::Pipelined {
+        inner: Box::new(StoreConfig::Disk {
+            dir: dir.clone(),
+            bandwidth: None,
+        }),
+        queue_depth: 2,
+        lookahead: 2,
+    };
+    let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
+    feed(&mut record, &p, 5);
+    assert_eq!(dir_entries(&dir), 1);
+    drop(record); // mid-record: never finished into a reader
+    assert_eq!(
+        dir_entries(&dir),
+        0,
+        "the worker must be joined and the store dropped"
+    );
+}
+
+/// Same for the reverse side: dropping a reader mid-sweep joins the
+/// prefetch thread and cleans the spill file up.
+#[test]
+fn dropped_prefetching_reader_joins_worker_and_cleans_up() {
+    let p = pattern();
+    let dir = scratch_dir("piped-reader-drop");
+    let config = StoreConfig::Pipelined {
+        inner: Box::new(StoreConfig::Disk {
+            dir: dir.clone(),
+            bandwidth: None,
+        }),
+        queue_depth: 2,
+        lookahead: 1,
+    };
+    let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
+    feed(&mut record, &p, 20);
+    let mut reader = record.into_reader().unwrap();
+    reader.next_back().unwrap(); // consume one step, then abandon
+    drop(reader);
+    assert_eq!(dir_entries(&dir), 0);
+}

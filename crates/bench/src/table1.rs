@@ -3,11 +3,16 @@
 //!
 //! Runs each circuit's transient (plain) and its recompute-mode adjoint
 //! sensitivity (the Xyce-like baseline that re-evaluates devices during
-//! the reverse pass), reporting `T_Sens/T_Tran` and `T_Jac/T_Sens`.
+//! the reverse pass), reporting `T_Sens/T_Tran` and `T_Jac/T_Sens` —
+//! plus, as the counterpoint the rest of the repo builds, the same
+//! sensitivities through the asynchronous pipelined MASC store
+//! (compression overlapped with the forward solve, prefetched reverse
+//! pass) and its speedup over the baseline.
 
 use crate::render_table;
-use masc_adjoint::{run_xyce_like, Objective};
+use masc_adjoint::{run_adjoint, run_xyce_like, Objective, StoreConfig};
 use masc_circuit::transient::{transient, NullSink};
+use masc_compress::MascConfig;
 use masc_datasets::registry::table1_circuits;
 
 /// Model-evaluation effort surrogate: our textbook device models are far
@@ -39,6 +44,10 @@ pub struct Row {
     pub ratio: f64,
     /// Fraction of sensitivity time spent on Jacobian recomputation.
     pub jac_fraction: f64,
+    /// Sensitivity wall time through the pipelined MASC store (s).
+    pub masc_s: f64,
+    /// Baseline sensitivity time over the pipelined-MASC time.
+    pub masc_speedup: f64,
 }
 
 /// Runs the Table 1 experiment at the given dataset scale.
@@ -80,6 +89,18 @@ pub fn run(scale: f64) -> Vec<Row> {
         let sens_s = run.sensitivities.stats.total_time.as_secs_f64();
         let jac_fraction = run.sensitivities.stats.recompute_time.as_secs_f64() / sens_s.max(1e-12);
 
+        // The repo's answer to the table's motivating cost: one batched
+        // reverse sweep over stored Jacobians, compressed off-thread.
+        let masc = run_adjoint(
+            &mut circuit,
+            &tran,
+            &StoreConfig::pipelined(StoreConfig::Compressed(MascConfig::default())),
+            &objectives,
+            &params,
+        )
+        .expect("pipelined adjoint runs");
+        let masc_s = masc.sensitivities.stats.total_time.as_secs_f64();
+
         rows.push(Row {
             name: spec.name.to_string(),
             kind,
@@ -91,6 +112,8 @@ pub fn run(scale: f64) -> Vec<Row> {
             sens_s,
             ratio: sens_s / tran_s.max(1e-12),
             jac_fraction,
+            masc_s,
+            masc_speedup: sens_s / masc_s.max(1e-12),
         });
     }
     rows
@@ -112,6 +135,8 @@ pub fn render(rows: &[Row]) -> String {
                 format!("{:.3}", r.sens_s),
                 format!("{:.1}", r.ratio),
                 format!("{:.1}%", r.jac_fraction * 100.0),
+                format!("{:.3}", r.masc_s),
+                format!("{:.1}x", r.masc_speedup),
             ]
         })
         .collect();
@@ -127,6 +152,8 @@ pub fn render(rows: &[Row]) -> String {
             "Sens(s)",
             "Sens/Tran",
             "Jac/Sens",
+            "MASC(s)",
+            "vs Xyce",
         ],
         &data,
     )
@@ -143,6 +170,7 @@ mod tests {
         for row in &rows {
             assert!(row.tran_s > 0.0, "{}", row.name);
             assert!(row.sens_s > 0.0, "{}", row.name);
+            assert!(row.masc_s > 0.0, "{}", row.name);
             assert!(
                 row.jac_fraction > 0.0 && row.jac_fraction < 1.0,
                 "{}: {}",

@@ -129,6 +129,11 @@ fn parse_waveform(tokens: &[String], line: usize) -> Result<Waveform, ParseNetli
         let close = upper
             .rfind(')')
             .ok_or_else(|| err(line, format!("{name} needs )")))?;
+        // `)` before `(` (e.g. "PULSE) (") would make the slice below
+        // panic with start > end.
+        if close < open + 1 {
+            return Err(err(line, format!("{name}: ')' before '('")));
+        }
         joined[open + 1..close]
             .split([' ', ','])
             .filter(|s| !s.is_empty())
@@ -211,7 +216,12 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
         let is_first = first_content;
         first_content = false;
         let tokens: Vec<&str> = line.split_whitespace().collect();
-        let head = tokens[0];
+        // Defensive: a card whose every character is whitespace after
+        // continuation joining has no tokens. Indexing would panic here;
+        // report it as a malformed line instead.
+        let Some(&head) = tokens.first() else {
+            return Err(err(lineno, "blank device card"));
+        };
         let upper_head = head.to_ascii_uppercase();
         if upper_head == ".END" {
             break;
@@ -232,7 +242,13 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
             // Unknown directives are ignored (like .options in real decks).
             continue;
         }
-        let kind = upper_head.chars().next().expect("non-empty token");
+        // Structured error instead of `expect`: `split_whitespace` never
+        // yields an empty token today, but a panic here would take the
+        // whole process down on an adversarial netlist if that invariant
+        // ever shifts (e.g. a future tokenizer change).
+        let Some(kind) = upper_head.chars().next() else {
+            return Err(err(lineno, "empty device card"));
+        };
         if !kind.is_ascii_alphabetic() {
             return Err(err(lineno, format!("unrecognized card {head:?}")));
         }
@@ -538,6 +554,35 @@ V1 a 0 PULSE(0 5
         assert!(e.message.contains("at least"));
         let titled = parse_netlist("R1 a 0\nR2 a 0 1k\n.end").unwrap();
         assert_eq!(titled.title.as_deref(), Some("R1 a 0"));
+    }
+
+    #[test]
+    fn adversarial_netlists_error_instead_of_panicking() {
+        // Reversed parentheses in a waveform spec: `rfind(')')` lands
+        // before `find('(')`, which used to slice with start > end.
+        let e = parse_netlist("R1 a 0 1k\nV1 a 0 PULSE) (\n.end").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("')' before '('"), "{}", e.message);
+        // Same shape through the SIN and PWL arms.
+        assert!(parse_netlist("R1 a 0 1k\nV1 a 0 SIN) x (\n.end").is_err());
+        assert!(parse_netlist("R1 a 0 1k\nI1 a 0 PWL)(\n.end").is_err());
+        // Empty argument list is an argument-count error, not a panic.
+        let e = parse_netlist("R1 a 0 1k\nV1 a 0 PULSE()\n.end").unwrap_err();
+        assert!(e.message.contains("7 arguments"), "{}", e.message);
+        // A deck that is nothing but continuation markers: the leading
+        // `+` has no previous line to join, so it survives as a card.
+        let e = parse_netlist("+\n.end").unwrap_err();
+        assert_eq!(e.line, 1);
+        // Non-alphabetic card heads after the title line are structured
+        // errors with the right line number.
+        let e = parse_netlist("R1 a 0 1k\n@bad card\n.end").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unrecognized"), "{}", e.message);
+        // Blank/comment-only decks parse to an empty circuit.
+        for src in ["", "\n\n", "* only a comment\n", ".end"] {
+            let p = parse_netlist(src).expect("empty deck parses");
+            assert!(p.circuit.devices().is_empty());
+        }
     }
 
     #[test]

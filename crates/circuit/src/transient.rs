@@ -67,6 +67,20 @@ pub trait JacobianSink {
         g: &CsrMatrix,
         c: &CsrMatrix,
     ) -> Result<(), SinkError>;
+
+    /// Called once after the last accepted step, before the transient run
+    /// returns. Asynchronous sinks drain their queues here so a persist
+    /// failure detected after `on_step` returned still aborts the run
+    /// (as [`TranError::Sink`] at the final step) instead of surfacing
+    /// later — or never.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkError`] when a previously accepted step turned out
+    /// not to be persistable.
+    fn on_finish(&mut self) -> Result<(), SinkError> {
+        Ok(())
+    }
 }
 
 /// A sink that ignores everything (plain transient analysis).
@@ -345,6 +359,14 @@ pub fn transient<S: JacobianSink>(
             }
         }
     }
+
+    // Drain asynchronous sinks: a queued step that failed to persist
+    // after its on_step returned must still abort the run.
+    sink.on_finish().map_err(|source| TranError::Sink {
+        step,
+        t: t_now,
+        source,
+    })?;
 
     stats.device_eval_time = system.device_eval_time();
     stats.total_time = run_start.elapsed();

@@ -383,6 +383,28 @@ mod tests {
     }
 
     #[test]
+    fn warmup_clamps_to_region_length() {
+        // A min_warmup far beyond the matrix size must clamp each
+        // region's budget to that region's element count, never past it.
+        let p = banded_pattern(3, 1);
+        let maps = StampMaps::new(&p);
+        let params = HeaderParams {
+            markov: true,
+            sign_invert: true,
+            warmup_permille: 125,
+            min_warmup: 1000,
+        };
+        let warmups = region_warmups(&maps, 0..p.nnz(), &params);
+        let mut counts = [0usize; 3];
+        for i in 0..p.nnz() {
+            counts[maps.region_of(maps.order()[i]).index()] += 1;
+        }
+        assert_eq!(warmups, counts);
+        // An empty range gets an all-zero budget.
+        assert_eq!(region_warmups(&maps, 0..0, &params), [0; 3]);
+    }
+
+    #[test]
     fn markov_round_trip() {
         let p = banded_pattern(30, 3);
         let maps = StampMaps::new(&p);

@@ -189,10 +189,15 @@ pub fn decompress_matrix_parallel(
     } else {
         // Workers decode into compact per-chunk buffers; scatter after.
         let per = ranges.len().div_ceil(threads);
+        // `per` is rounded up, so spawning `threads` workers outright can
+        // leave trailing workers with an empty chunk range — each still
+        // allocating an nnz-sized scratch buffer for nothing (e.g. 4
+        // chunks over 3 threads: per = 2, worker 2 idles).
+        let workers = ranges.len().div_ceil(per);
         type ChunkValues = Vec<(usize, Vec<f64>)>;
         let results: Vec<Result<ChunkValues, CompressError>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for tid in 0..threads {
+            for tid in 0..workers {
                 let ranges = &ranges;
                 let lens = &lens;
                 let offsets = &offsets;
@@ -321,6 +326,59 @@ mod tests {
             ..MascConfig::default()
         };
         check(&config, 100);
+    }
+
+    #[test]
+    fn degenerate_chunk_ranges() {
+        assert!(chunk_ranges(0, 8).is_empty());
+        assert!(chunk_ranges(0, 0).is_empty());
+        // chunk_size 0 is clamped to 1 on both sides of the codec.
+        assert_eq!(chunk_ranges(5, 0), chunk_ranges(5, 1));
+        assert_eq!(chunk_ranges(5, 0).len(), 5);
+    }
+
+    #[test]
+    fn zero_nnz_round_trip() {
+        let p = TripletMatrix::new(0, 0).to_csr().pattern().as_ref().clone();
+        let maps = StampMaps::new(&p);
+        for threads in [1usize, 4] {
+            let config = MascConfig {
+                chunk_size: 8,
+                threads,
+                ..MascConfig::default()
+            };
+            let (bytes, _) = compress_matrix_parallel(&[], &[], &maps, &config);
+            let out = decompress_matrix_parallel(&bytes, &[], &maps, &config).unwrap();
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn chunk_size_zero_round_trip() {
+        let config = MascConfig {
+            chunk_size: 0,
+            threads: 3,
+            markov_min_warmup: 2,
+            ..MascConfig::default()
+        };
+        check(&config, 20);
+    }
+
+    #[test]
+    fn more_threads_than_chunks_round_trip() {
+        // (chunk, threads) shapes: single chunk with many threads; more
+        // threads than chunks; and the rounded-up `per` case (4 chunks
+        // over 3 threads) where a naive `0..threads` worker loop spawns
+        // an idle worker with an empty chunk range.
+        for (chunk, threads) in [(100_000, 8), (100, 8), (75, 3)] {
+            let config = MascConfig {
+                chunk_size: chunk,
+                threads,
+                markov_min_warmup: 4,
+                ..MascConfig::default()
+            };
+            check(&config, 60);
+        }
     }
 
     #[test]

@@ -556,6 +556,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_pattern_tensor_round_trips() {
+        // nnz == 0: every block is an empty value slice, both directions.
+        let p = TripletMatrix::new(0, 0).to_csr().pattern().clone();
+        let mut tc = TensorCompressor::new(p, MascConfig::default());
+        for _ in 0..3 {
+            tc.push(&[]);
+        }
+        let tensor = tc.finish();
+        assert_eq!(tensor.len(), 3);
+        let all = tensor.decompress_all().unwrap();
+        assert!(all.iter().all(|m| m.is_empty()));
+        let mut back = tensor.into_backward();
+        let mut steps = 0;
+        while let Some((_, values)) = back.next_matrix().unwrap() {
+            assert!(values.is_empty());
+            steps += 1;
+        }
+        assert_eq!(steps, 3);
+    }
+
+    #[test]
+    fn zero_step_tensor_is_empty() {
+        let p = pattern(10);
+        let tc = TensorCompressor::new(p, MascConfig::default());
+        assert!(tc.is_empty());
+        let tensor = tc.finish();
+        assert!(tensor.is_empty());
+        assert!(tensor.decompress_all().unwrap().is_empty());
+        let mut back = tensor.into_backward();
+        assert!(back.next_matrix().unwrap().is_none());
+    }
+
+    #[test]
     fn memory_shrinks_as_backward_consumes() {
         let p = pattern(40);
         let matrices = series(&p, 20);

@@ -26,6 +26,21 @@ fn patterns() -> impl Gen<Value = Arc<Pattern>> {
     })
 }
 
+/// Tiny patterns (1×1 up to 4×4) whose regions hold far fewer elements
+/// than any realistic Markov warm-up budget.
+fn tiny_patterns() -> impl Gen<Value = Arc<Pattern>> {
+    gen::sparse_coords(1..5, 6).map(|(n, coords)| {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.add(i, i, 0.0);
+        }
+        for (r, c) in coords {
+            t.add(r, c, 0.0);
+        }
+        t.to_csr().pattern().clone()
+    })
+}
+
 /// Value vectors including special floats.
 fn values(nnz: usize) -> impl Gen<Value = Vec<f64>> {
     gen::vecs(gen::f64_payloads(), nnz..nnz + 1)
@@ -76,6 +91,70 @@ prop! {
             chunk_size: chunk,
             threads,
             markov_min_warmup: 4,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix_parallel(&values, &reference, &maps, &config);
+        let out = decompress_matrix_parallel(&bytes, &reference, &maps, &config).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Markov warm-up clamp: a `markov_min_warmup` far beyond any
+    /// region's element count must clamp to the region length on both the
+    /// serial and chunked paths, down to 1×1 matrices.
+    fn oversized_markov_warmup_round_trips(
+        (pattern, values, reference, warmup, chunk) in tiny_patterns().flat_map(|p| {
+            let nnz = p.nnz();
+            (
+                gen::just(p),
+                values(nnz),
+                values(nnz),
+                gen::range_usize(50, 100_000),
+                gen::range_usize(1, 8),
+            )
+        })
+    ) {
+        let maps = StampMaps::new(&pattern);
+        let config = MascConfig {
+            markov: true,
+            markov_min_warmup: warmup,
+            chunk_size: chunk,
+            threads: 2,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix(&values, &reference, &maps, &config);
+        let out = decompress_matrix(&bytes, &reference, &maps).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (bytes, _) = compress_matrix_parallel(&values, &reference, &maps, &config);
+        let out = decompress_matrix_parallel(&bytes, &reference, &maps, &config).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Degenerate chunk/thread shapes: chunk_size 0 (clamped to 1 by the
+    /// codec), more threads than chunks, and thread counts that round the
+    /// per-worker chunk share up must all round-trip bit-exactly.
+    fn degenerate_chunk_shapes_round_trip(
+        (pattern, values, reference, chunk, threads) in patterns().flat_map(|p| {
+            let nnz = p.nnz();
+            (
+                gen::just(p),
+                values(nnz),
+                values(nnz),
+                gen::range_usize(0, 3),
+                gen::range_usize(1, 17),
+            )
+        })
+    ) {
+        let maps = StampMaps::new(&pattern);
+        let config = MascConfig {
+            chunk_size: chunk,
+            threads,
+            markov_min_warmup: 2,
             ..MascConfig::default()
         };
         let (bytes, _) = compress_matrix_parallel(&values, &reference, &maps, &config);

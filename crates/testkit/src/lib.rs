@@ -9,9 +9,9 @@
 //! - [`gen`] — composable value generators (integers, floats with
 //!   adversarial payloads, vectors, sparse coordinate sets, netlist decks)
 //!   with bounded, invariant-preserving shrinking;
-//! - [`prop`] — the [`prop!`] test macro and runner: fixed-seed cases,
+//! - [`mod@prop`] — the [`prop!`] test macro and runner: fixed-seed cases,
 //!   `MASC_PROP_REPRO=<seed>` single-case reproduction, greedy shrinking;
-//! - [`bench`] — a warmup + median wall-clock timer standing in for
+//! - [`mod@bench`] — a warmup + median wall-clock timer standing in for
 //!   criterion, used by `crates/bench/benches/*`.
 //!
 //! # Examples

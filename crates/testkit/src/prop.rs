@@ -164,7 +164,7 @@ where
     );
 }
 
-/// Applies one `#![key = value]` block attribute from [`prop!`].
+/// Applies one `#![key = value]` block attribute from [`prop!`](crate::prop!).
 ///
 /// Recognized keys: `cases`, `seed`, `max_shrink_iters`.
 ///

@@ -13,6 +13,7 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --release --offline --workspace --benches
+run env RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 run cargo test -q --offline --workspace
 
 echo "==> ci: all checks passed"
