@@ -52,6 +52,9 @@ pub mod fd;
 pub mod objective;
 pub mod store;
 
+#[cfg(feature = "mutation-hooks")]
+pub mod mutation;
+
 pub use adjoint::{
     adjoint_sensitivities, adjoint_sensitivities_per_objective, AdjointError, AdjointStats,
     SensitivityResult,

@@ -1,0 +1,45 @@
+//! Switchable injected defects for validating the conformance harness.
+//!
+//! Mirrors `masc_compress::mutation` for the store layer: the
+//! `masc-conform` mutation check activates a defect and asserts the
+//! store-equivalence oracle catches it within a bounded fuzz budget. Only
+//! compiled with the `mutation-hooks` feature, and inert until
+//! [`set_defect`] selects a defect at run time.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Selectable injected defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Defect {
+    /// No defect (the default state).
+    None = 0,
+    /// The hybrid store's disk tier serves each spilled block read after
+    /// the first from a one-block stale cache, returning the previously
+    /// read block's bytes instead of the requested ones.
+    StaleSpillBlock = 1,
+}
+
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Activates `defect` process-wide. Tests must serialize around this.
+pub fn set_defect(defect: Defect) {
+    ACTIVE.store(defect as u8, Ordering::SeqCst);
+}
+
+/// Whether `defect` is currently active.
+pub fn active(defect: Defect) -> bool {
+    ACTIVE.load(Ordering::SeqCst) == defect as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_inert_by_default() {
+        set_defect(Defect::None);
+        assert!(active(Defect::None));
+        assert!(!active(Defect::StaleSpillBlock));
+    }
+}

@@ -192,6 +192,10 @@ struct TierTensor {
     mem: Vec<Option<Vec<u8>>>,
     steps: usize,
     decoder: BackwardDecompressor,
+    /// Injected-defect state: the previously read disk block, replayed in
+    /// place of the next one while `Defect::StaleSpillBlock` is active.
+    #[cfg(feature = "mutation-hooks")]
+    last_disk_block: Option<Vec<u8>>,
 }
 
 impl TierTensor {
@@ -206,6 +210,8 @@ impl TierTensor {
             mem,
             steps,
             decoder,
+            #[cfg(feature = "mutation-hooks")]
+            last_disk_block: None,
         }
     }
 
@@ -242,6 +248,12 @@ impl TierTensor {
         metrics.io_time += io;
         metrics.throttle_wait += throttle(buf.len(), bandwidth, io);
         metrics.bytes_read += buf.len() as u64;
+        #[cfg(feature = "mutation-hooks")]
+        if crate::mutation::active(crate::mutation::Defect::StaleSpillBlock) {
+            if let Some(stale) = self.last_disk_block.replace(buf.clone()) {
+                return Ok(stale);
+            }
+        }
         Ok(buf)
     }
 }

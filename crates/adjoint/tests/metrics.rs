@@ -1,0 +1,164 @@
+//! `StoreMetrics` accounting consistency between synchronous backends and
+//! their pipelined wrappers: pipelining changes *when* work happens, not
+//! how many payload bytes exist, and its prefetch counters must account
+//! for every reverse-pass fetch.
+
+use masc_adjoint::store::{ForwardRecord, StepMatrices, StoreConfig, StoreMetrics, TensorLayout};
+use masc_circuit::transient::JacobianSink;
+use masc_compress::MascConfig;
+use masc_sparse::{CsrMatrix, Pattern, TripletMatrix};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn pattern() -> Arc<Pattern> {
+    let mut t = TripletMatrix::new(4, 4);
+    for i in 0..4 {
+        t.add(i, i, 1.0);
+        if i > 0 {
+            t.add(i, i - 1, 1.0);
+            t.add(i - 1, i, 1.0);
+        }
+    }
+    t.to_csr().pattern().clone()
+}
+
+fn layout(p: &Arc<Pattern>) -> TensorLayout {
+    let identity = Arc::new((0..p.nnz()).collect::<Vec<_>>());
+    TensorLayout {
+        union: p.clone(),
+        g_pattern: p.clone(),
+        c_pattern: p.clone(),
+        g_slots: identity.clone(),
+        c_slots: identity,
+    }
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("masc-metrics-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Feeds a smooth deterministic series and drains the reverse pass,
+/// returning (stored G values newest-first, final metrics).
+fn run(config: StoreConfig, steps: usize) -> (Vec<Vec<f64>>, StoreMetrics) {
+    let p = pattern();
+    let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
+    for s in 0..steps {
+        let g_vals: Vec<f64> = (0..p.nnz())
+            .map(|k| 1.0 + (s as f64 * 0.07 + k as f64).sin() * 1e-3)
+            .collect();
+        let c_vals: Vec<f64> = (0..p.nnz())
+            .map(|k| -1e-9 * ((s as f64 * 0.11 - k as f64).cos() + 3.0))
+            .collect();
+        let g = CsrMatrix::from_parts(p.clone(), g_vals).unwrap();
+        let c = CsrMatrix::from_parts(p.clone(), c_vals).unwrap();
+        record
+            .on_step(s, s as f64 * 1e-6, 1e-6, &[0.0; 4], &g, &c)
+            .unwrap();
+    }
+    let mut reader = record.into_reader().unwrap();
+    let mut gs = Vec::new();
+    let mut expect = steps;
+    while let Some((step, matrices)) = reader.next_back().unwrap() {
+        expect -= 1;
+        assert_eq!(step, expect);
+        let StepMatrices::Stored { g, .. } = matrices else {
+            panic!("stored backend must yield matrices");
+        };
+        gs.push(g);
+    }
+    assert_eq!(expect, 0);
+    (gs, reader.metrics().clone())
+}
+
+/// Pipelining a backend must not change what is stored or read — only
+/// the waiting accounts differ.
+fn assert_consistent(name: &str, sync_config: StoreConfig, piped_config: StoreConfig) {
+    const STEPS: usize = 30;
+    let (sync_gs, sync_m) = run(sync_config, STEPS);
+    let (piped_gs, piped_m) = run(piped_config, STEPS);
+
+    // Identical payloads, bit for bit, in identical order.
+    assert_eq!(sync_gs.len(), piped_gs.len(), "{name}: step count");
+    for (s, (a, b)) in sync_gs.iter().zip(&piped_gs).enumerate() {
+        assert_eq!(a.len(), b.len(), "{name}: row width at step {s}");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}: G diverged at step {s}");
+        }
+    }
+
+    // Identical byte accounting: the pipeline moves the same blocks.
+    assert_eq!(
+        sync_m.bytes_written, piped_m.bytes_written,
+        "{name}: bytes_written"
+    );
+    assert_eq!(sync_m.bytes_read, piped_m.bytes_read, "{name}: bytes_read");
+    assert!(sync_m.bytes_written > 0, "{name}: nothing was accounted");
+    assert!(
+        sync_m.peak_resident_bytes > 0,
+        "{name}: sync peak residency"
+    );
+    assert!(
+        piped_m.peak_resident_bytes > 0,
+        "{name}: piped peak residency"
+    );
+
+    // Only the pipelined wrapper owns prefetch/queue accounting, and its
+    // hit/miss split must cover every reverse-pass fetch.
+    assert_eq!(
+        sync_m.prefetch_hits + sync_m.prefetch_misses,
+        0,
+        "{name}: sync prefetch"
+    );
+    assert_eq!(sync_m.max_queue_depth, 0, "{name}: sync queue depth");
+    assert_eq!(
+        piped_m.prefetch_hits + piped_m.prefetch_misses,
+        STEPS as u64,
+        "{name}: prefetch hits+misses must account for every fetch"
+    );
+    assert!(piped_m.max_queue_depth > 0, "{name}: piped queue depth");
+
+    // Both sides saw every step in both histograms.
+    for (side, m) in [("sync", &sync_m), ("pipelined", &piped_m)] {
+        assert_eq!(m.put_hist.count(), STEPS as u64, "{name}/{side}: put_hist");
+        assert_eq!(
+            m.fetch_hist.count(),
+            STEPS as u64,
+            "{name}/{side}: fetch_hist"
+        );
+    }
+}
+
+#[test]
+fn pipelined_compressed_accounting_matches_sync() {
+    assert_consistent(
+        "compressed",
+        StoreConfig::Compressed(MascConfig::default()),
+        StoreConfig::pipelined(StoreConfig::Compressed(MascConfig::default())),
+    );
+}
+
+#[test]
+fn pipelined_hybrid_accounting_matches_sync() {
+    let hybrid = |tag: &str| StoreConfig::Hybrid {
+        dir: scratch_dir(tag),
+        bandwidth: None,
+        resident_blocks: 2,
+        masc: MascConfig::default(),
+    };
+    assert_consistent(
+        "hybrid",
+        hybrid("sync"),
+        StoreConfig::pipelined(hybrid("piped")),
+    );
+}
+
+#[test]
+fn pipelined_disk_accounting_matches_sync() {
+    let disk = |tag: &str| StoreConfig::Disk {
+        dir: scratch_dir(tag),
+        bandwidth: None,
+    };
+    assert_consistent("disk", disk("sync"), StoreConfig::pipelined(disk("piped")));
+}

@@ -80,6 +80,12 @@ impl Compressor for ChimpLike {
 
     fn decompress(&self, bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
         let (count, used) = varint::read_u64(bytes)?;
+        // Every value costs at least its 2 control bits, so a claimed count
+        // beyond the remaining payload cannot be satisfied; reject it
+        // before trusting it with an allocation.
+        if count > ((bytes.len() - used) as u64).saturating_mul(4) {
+            return Err(CodecError::Truncated);
+        }
         let mut r = BitReader::new(&bytes[used..]);
         let mut out = Vec::with_capacity(count as usize);
         let mut prev = 0u64;

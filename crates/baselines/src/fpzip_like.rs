@@ -63,6 +63,9 @@ impl FpzipLike {
 /// Context count for the 7-bit leading-zero tree.
 const LZ_TREE: usize = 127;
 
+/// Upper bound on a stream's claimed value count (see `decompress`).
+const MAX_DECODE_VALUES: u64 = 1 << 24;
+
 impl Compressor for FpzipLike {
     fn name(&self) -> &'static str {
         "FpzipLike"
@@ -100,6 +103,13 @@ impl Compressor for FpzipLike {
         let mut pos = 0usize;
         let (count, used) = varint::read_u64(bytes)?;
         pos += used;
+        // The range decoder zero-pads past the input tail instead of
+        // reporting truncation, so the claimed count is not bounded by the
+        // input length; cap it so an adversarial header cannot demand
+        // unbounded allocation and decode work.
+        if count > MAX_DECODE_VALUES {
+            return Err(CodecError::Corrupt("implausible value count"));
+        }
         let (row_len, used) = varint::read_u64(&bytes[pos..])?;
         pos += used;
         let shape = FpzipLike {

@@ -51,6 +51,13 @@ fn serialize_tokens(tokens: &[Token]) -> Vec<u8> {
 
 fn deserialize_tokens(bytes: &[u8]) -> Result<Vec<Token>, CodecError> {
     let (count, mut pos) = varint::read_u64(bytes)?;
+    // Eight tokens cost at least nine serialized bytes (control byte plus
+    // one byte each), so a claimed count beyond eight tokens per input byte
+    // is truncated garbage; reject it before trusting it with an
+    // allocation.
+    if count > (bytes.len() as u64).saturating_mul(8) {
+        return Err(CodecError::Truncated);
+    }
     let mut tokens = Vec::with_capacity(count as usize);
     while (tokens.len() as u64) < count {
         let control = *bytes.get(pos).ok_or(CodecError::Truncated)?;

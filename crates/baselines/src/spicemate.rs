@@ -109,9 +109,17 @@ impl Compressor for SpiceMate {
         }
         let (code_len, used) = varint::read_u64(&bytes[pos..])?;
         pos += used;
-        let code_end = pos + code_len as usize;
+        let code_end = pos
+            .checked_add(code_len as usize)
+            .ok_or(CodecError::Truncated)?;
         let codes = rans::decode(bytes.get(pos..code_end).ok_or(CodecError::Truncated)?)?;
         let mut exact = bytes.get(code_end..).ok_or(CodecError::Truncated)?;
+        // Every value consumes at least one code byte, so a claimed count
+        // beyond the decoded code stream cannot be satisfied; reject it
+        // before trusting it with an allocation.
+        if count > codes.len() as u64 {
+            return Err(CodecError::Truncated);
+        }
         let mut out = Vec::with_capacity(count as usize);
         let mut prev = 0.0f64;
         let mut cpos = 0usize;

@@ -118,6 +118,12 @@ pub fn encode_deltas(values: &[usize]) -> Vec<u8> {
 /// a decoded value is negative (sorted index arrays are non-negative).
 pub fn decode_deltas(buf: &[u8]) -> Result<Vec<usize>, VarintError> {
     let (len, mut pos) = read_u64(buf)?;
+    // Every delta costs at least one byte, so a claimed count beyond the
+    // remaining input is truncated garbage; reject it before trusting it
+    // with an allocation.
+    if len > (buf.len() - pos) as u64 {
+        return Err(VarintError::Truncated);
+    }
     let mut out = Vec::with_capacity(len as usize);
     let mut prev: i64 = 0;
     for _ in 0..len {

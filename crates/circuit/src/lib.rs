@@ -44,6 +44,7 @@
 pub mod circuit;
 pub mod dc;
 pub mod devices;
+pub mod netlist;
 pub mod newton;
 pub mod parser;
 pub mod stamp;

@@ -1,0 +1,236 @@
+//! Netlist re-serialization: the inverse of [`crate::parser`].
+//!
+//! [`write_netlist`] renders a parsed circuit back into SPICE card text
+//! that [`parse_netlist`](crate::parser::parse_netlist) accepts. The
+//! conformance harness uses it as a differential oracle: a deck that
+//! parses must survive a serialize → re-parse round trip with the same
+//! devices, nodes, and parameter values.
+//!
+//! Values are written in Rust's shortest-round-trip float notation (plain
+//! or scientific), which `parse_value` accepts verbatim; non-finite values
+//! (reachable through overflowing literals like `1e999`) are spelled as
+//! overflowing literals again.
+
+use crate::circuit::Circuit;
+use crate::devices::Device;
+use crate::parser::ParsedNetlist;
+use crate::stamp::Unknown;
+use crate::waveform::Waveform;
+use std::fmt::Write as _;
+
+/// Formats a value so `parse_value` reads back the same `f64`.
+fn value(v: f64) -> String {
+    if v.is_nan() {
+        // Not reachable from parsed decks (`parse_value` rejects "nan"),
+        // but keep the writer total.
+        "0".to_string()
+    } else if v == f64::INFINITY {
+        "1e999".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-1e999".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn waveform(w: &Waveform) -> String {
+    match w {
+        Waveform::Dc(v) => format!("DC {}", value(*v)),
+        Waveform::Pulse {
+            v1,
+            v2,
+            td,
+            tr,
+            tf,
+            pw,
+            per,
+        } => format!(
+            "PULSE({} {} {} {} {} {} {})",
+            value(*v1),
+            value(*v2),
+            value(*td),
+            value(*tr),
+            value(*tf),
+            value(*pw),
+            value(*per)
+        ),
+        Waveform::Sin {
+            vo,
+            va,
+            freq,
+            td,
+            theta,
+        } => format!(
+            "SIN({} {} {} {} {})",
+            value(*vo),
+            value(*va),
+            value(*freq),
+            value(*td),
+            value(*theta)
+        ),
+        Waveform::Pwl(points) => {
+            if points.is_empty() {
+                // Unreachable from the parser (PWL needs ≥ 1 corner).
+                return "DC 0".to_string();
+            }
+            let mut s = String::from("PWL(");
+            for (i, (t, v)) in points.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{} {}", value(*t), value(*v));
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+/// Renders one device as a netlist card (without trailing newline).
+fn card(circuit: &Circuit, device: &Device) -> String {
+    let node = |u: Unknown| -> String {
+        match u {
+            None => "0".to_string(),
+            Some(i) => circuit.node_name(i).to_string(),
+        }
+    };
+    // Terminal nodes are the leading entries of `unknowns()`; branch
+    // unknowns (inductor / voltage-source / VCVS current) come after and
+    // are not part of the card.
+    let terminals = |n: usize| -> String {
+        device.unknowns()[..n]
+            .iter()
+            .map(|&u| node(u))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let name = device.name();
+    match device {
+        Device::Resistor(r) => format!("{name} {} {}", terminals(2), value(r.resistance)),
+        Device::Capacitor(c) => format!("{name} {} {}", terminals(2), value(c.capacitance)),
+        Device::Inductor(l) => format!("{name} {} {}", terminals(2), value(l.inductance)),
+        Device::VoltageSource(v) => format!("{name} {} {}", terminals(2), waveform(&v.waveform)),
+        Device::CurrentSource(i) => format!("{name} {} {}", terminals(2), waveform(&i.waveform)),
+        Device::Diode(d) => format!(
+            "{name} {} IS={} N={} CJ0={} VJ={} M={}",
+            terminals(2),
+            value(d.is_sat),
+            value(d.n_emission),
+            value(d.cj0),
+            value(d.vj),
+            value(d.mj)
+        ),
+        Device::Bjt(q) => format!(
+            "{name} {} {} IS={} BF={} BR={} TF={} TR={}",
+            terminals(3),
+            match q.polarity {
+                crate::devices::BjtPolarity::Npn => "NPN",
+                crate::devices::BjtPolarity::Pnp => "PNP",
+            },
+            value(q.is_sat),
+            value(q.beta_f),
+            value(q.beta_r),
+            value(q.tf),
+            value(q.tr)
+        ),
+        Device::Mosfet(m) => format!(
+            "{name} {} {} KP={} VT0={} LAMBDA={} W={} L={} CGS={} CGD={}",
+            terminals(3),
+            match m.polarity {
+                crate::devices::MosPolarity::Nmos => "NMOS",
+                crate::devices::MosPolarity::Pmos => "PMOS",
+            },
+            value(m.kp),
+            value(m.vt0),
+            value(m.lambda),
+            value(m.w),
+            value(m.l),
+            value(m.cgs),
+            value(m.cgd)
+        ),
+        Device::Vccs(g) => format!("{name} {} {}", terminals(4), value(g.gm)),
+        Device::Vcvs(e) => format!("{name} {} {}", terminals(4), value(e.gain)),
+    }
+}
+
+/// Renders a parsed netlist back into SPICE card text.
+///
+/// The output always starts with a title line (the parsed title, or a
+/// placeholder comment) so the first card is never mistaken for a title,
+/// and always ends with `.end`.
+pub fn write_netlist(parsed: &ParsedNetlist) -> String {
+    let mut out = String::new();
+    match &parsed.title {
+        // A multi-line title cannot have survived parsing, but never let
+        // one smuggle extra cards into the output.
+        Some(t) if !t.contains('\n') && !t.contains('\r') => {
+            out.push_str(t);
+            out.push('\n');
+        }
+        _ => out.push_str("* regenerated netlist\n"),
+    }
+    for device in parsed.circuit.devices() {
+        out.push_str(&card(&parsed.circuit, device));
+        out.push('\n');
+    }
+    if let Some(tran) = &parsed.tran {
+        let _ = writeln!(out, ".tran {} {}", value(tran.dt), value(tran.t_stop));
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_netlist;
+
+    const DECK: &str = "\
+demo deck
+V1 in 0 SIN(0 1.5 1e6 0 0)
+R1 in out 1000.0
+C1 out 0 1e-9
+D1 out 0 IS=1e-14 N=1.5 CJ0=2e-12 VJ=0.7 M=0.4
+Q1 out b 0 PNP IS=1e-15 BF=120.0 BR=2.0 TF=1e-10 TR=1e-9
+M1 out g 0 NMOS KP=0.0002 VT0=0.6 LAMBDA=0.01 W=1e-5 L=1e-6 CGS=1e-15 CGD=1e-15
+G1 out 0 in 0 0.001
+E1 e1p 0 in 0 2.5
+L1 e1p 0 1e-6
+I1 0 in DC 0.001
+.tran 1e-9 1e-7
+.end
+";
+
+    #[test]
+    fn round_trip_preserves_devices_and_params() {
+        let p1 = parse_netlist(DECK).expect("valid deck");
+        let text = write_netlist(&p1);
+        let p2 = parse_netlist(&text).expect("regenerated deck parses");
+        assert_eq!(p1.circuit.devices().len(), p2.circuit.devices().len());
+        assert_eq!(p1.circuit.node_count(), p2.circuit.node_count());
+        let params1 = p1.circuit.params();
+        let params2 = p2.circuit.params();
+        assert_eq!(params1.len(), params2.len());
+        for (a, b) in params1.iter().zip(&params2) {
+            assert_eq!(
+                p1.circuit.param_value(a).to_bits(),
+                p2.circuit.param_value(b).to_bits()
+            );
+        }
+        assert_eq!(p1.title, p2.title);
+        let (t1, t2) = (p1.tran.expect("tran"), p2.tran.expect("tran"));
+        assert_eq!(t1.dt.to_bits(), t2.dt.to_bits());
+        assert_eq!(t1.t_stop.to_bits(), t2.t_stop.to_bits());
+    }
+
+    #[test]
+    fn overflowed_values_stay_non_finite() {
+        let p = parse_netlist("t\nV1 a 0 DC 5\nR1 a 0 1e999\n.end\n").expect("parses");
+        let text = write_netlist(&p);
+        let p2 = parse_netlist(&text).expect("re-parses");
+        match &p2.circuit.devices()[1] {
+            Device::Resistor(r) => assert_eq!(r.resistance, f64::INFINITY),
+            other => panic!("unexpected device {other:?}"),
+        }
+    }
+}

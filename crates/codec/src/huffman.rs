@@ -251,6 +251,13 @@ pub fn decode(packed: &[u8]) -> Result<Vec<u8>, CodecError> {
     if orig_len == 0 {
         return Ok(Vec::new());
     }
+    // Every symbol costs at least one payload bit, so a claimed length
+    // beyond the remaining bits cannot be satisfied; reject it before
+    // trusting it with an allocation.
+    let payload_bits = ((packed.len() - used).saturating_sub(128) as u64).saturating_mul(8);
+    if orig_len > payload_bits {
+        return Err(CodecError::Truncated);
+    }
     let decoder = Decoder::from_lengths(&lengths)?;
     let mut out = Vec::with_capacity(orig_len as usize);
     for _ in 0..orig_len {

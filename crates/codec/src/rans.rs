@@ -27,6 +27,14 @@ use masc_bitio::varint;
 /// log2 of the total frequency scale.
 const SCALE_BITS: u32 = 12;
 const SCALE: u32 = 1 << SCALE_BITS;
+
+/// Upper bound on a stream's claimed decompressed size.
+///
+/// A constant-symbol frequency table legitimately decodes unbounded output
+/// from a few input bytes, so the claim in the header cannot be bounded by
+/// the input length; cap it instead so an adversarial header cannot demand
+/// unbounded allocation and decode work.
+pub const MAX_DECODE_BYTES: u64 = 1 << 26;
 /// Lower bound of the rANS state before renormalization.
 const RANS_L: u32 = 1 << 23;
 
@@ -135,6 +143,9 @@ pub fn decode(packed: &[u8]) -> Result<Vec<u8>, CodecError> {
     if orig_len == 0 {
         return Ok(Vec::new());
     }
+    if orig_len > MAX_DECODE_BYTES {
+        return Err(CodecError::Corrupt("implausible decompressed length"));
+    }
     if total != u64::from(SCALE) {
         return Err(CodecError::Corrupt(
             "rans frequency table does not sum to scale",
@@ -154,9 +165,10 @@ pub fn decode(packed: &[u8]) -> Result<Vec<u8>, CodecError> {
 
     let (payload_len, used) = varint::read_u64(&packed[pos..])?;
     pos += used;
-    let payload = packed
-        .get(pos..pos + payload_len as usize)
+    let payload_end = pos
+        .checked_add(payload_len as usize)
         .ok_or(CodecError::Truncated)?;
+    let payload = packed.get(pos..payload_end).ok_or(CodecError::Truncated)?;
     if payload.len() < 4 {
         return Err(CodecError::Truncated);
     }

@@ -22,6 +22,13 @@
 use crate::CodecError;
 use masc_bitio::varint;
 
+/// Upper bound on a stream's claimed decompressed word count.
+///
+/// Zero runs decode to arbitrarily many output words from a few input
+/// bytes, so the header's claim cannot be bounded by the input length; cap
+/// it so an adversarial header cannot demand unbounded allocation.
+pub const MAX_DECODE_WORDS: u64 = 1 << 24;
+
 /// Encodes a `u64` word stream as alternating zero/literal runs.
 ///
 /// Layout: varint word count, then repeated `[varint zero_run][varint
@@ -56,18 +63,23 @@ pub fn encode_words(words: &[u64]) -> Vec<u8> {
 /// word count.
 pub fn decode_words(packed: &[u8]) -> Result<Vec<u64>, CodecError> {
     let (count, mut pos) = varint::read_u64(packed)?;
+    // Zero runs mean the word count is not bounded by the input length;
+    // cap it so an adversarial header cannot demand unbounded allocation.
+    if count > MAX_DECODE_WORDS {
+        return Err(CodecError::Corrupt("implausible word count"));
+    }
     let count = count as usize;
     let mut out = Vec::with_capacity(count);
     while out.len() < count {
         let (zeros, used) = varint::read_u64(&packed[pos..])?;
         pos += used;
-        if out.len() + zeros as usize > count {
+        if zeros > (count - out.len()) as u64 {
             return Err(CodecError::Corrupt("zero run overshoots word count"));
         }
         out.resize(out.len() + zeros as usize, 0);
         let (lits, used) = varint::read_u64(&packed[pos..])?;
         pos += used;
-        if out.len() + lits as usize > count {
+        if lits > (count - out.len()) as u64 {
             return Err(CodecError::Corrupt("literal run overshoots word count"));
         }
         for _ in 0..lits {

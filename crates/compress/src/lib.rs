@@ -61,6 +61,9 @@ pub mod residual;
 pub mod stats;
 pub mod tensor;
 
+#[cfg(feature = "mutation-hooks")]
+pub mod mutation;
+
 pub use config::MascConfig;
 pub use matrix::{compress_matrix, decompress_matrix};
 pub use parallel::{compress_matrix_parallel, decompress_matrix_parallel};

@@ -110,7 +110,11 @@ pub(crate) fn encode_range(
         let code = if seen[ri] < warmups[ri] {
             seen[ri] += 1;
             let code = best_fit(&cands, region.candidate_count(), truth);
-            w.write_bits(u64::from(code), region.selection_bits());
+            #[cfg(feature = "mutation-hooks")]
+            let wire = crate::mutation::perturb_selection(code, region.candidate_count());
+            #[cfg(not(feature = "mutation-hooks"))]
+            let wire = code;
+            w.write_bits(u64::from(wire), region.selection_bits());
             markov.observe(region, code);
             code
         } else {

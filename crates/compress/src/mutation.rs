@@ -1,0 +1,75 @@
+//! Switchable injected defects for validating the conformance harness.
+//!
+//! The `masc-conform` mutation check activates one of these and asserts
+//! that the differential oracles catch it within a bounded fuzz budget.
+//! The module only exists with the `mutation-hooks` feature, and even then
+//! every hook is inert until [`set_defect`] selects one, so feature
+//! unification across a workspace build cannot change behaviour.
+//!
+//! Each defect breaks exactly one side of an encode/decode pair — a
+//! perversion applied symmetrically to both sides would still round-trip
+//! and teach us nothing about the oracles.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Selectable injected defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Defect {
+    /// No defect (the default state).
+    None = 0,
+    /// The encoder writes a rotated stamp-predictor selection code on the
+    /// wire while coding the residual against the true best-fit candidate,
+    /// so the decoder reconstructs from the wrong predictor.
+    WrongStampCandidate = 1,
+    /// [`CompressedTensor::to_bytes`](crate::CompressedTensor::to_bytes)
+    /// frames every block with a length one byte too long.
+    VarintLenOffByOne = 2,
+}
+
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Activates `defect` process-wide. Tests must serialize around this.
+pub fn set_defect(defect: Defect) {
+    ACTIVE.store(defect as u8, Ordering::SeqCst);
+}
+
+/// Whether `defect` is currently active.
+pub fn active(defect: Defect) -> bool {
+    ACTIVE.load(Ordering::SeqCst) == defect as u8
+}
+
+/// The selection code actually written to the wire for `code`. Identity
+/// unless [`Defect::WrongStampCandidate`] is active and there is more than
+/// one candidate to confuse.
+pub fn perturb_selection(code: u32, candidate_count: usize) -> u32 {
+    if candidate_count > 1 && active(Defect::WrongStampCandidate) {
+        (code + 1) % candidate_count as u32
+    } else {
+        code
+    }
+}
+
+/// The framed length written for a `len`-byte block. Identity unless
+/// [`Defect::VarintLenOffByOne`] is active.
+pub fn perturb_block_len(len: usize) -> u64 {
+    if active(Defect::VarintLenOffByOne) {
+        len as u64 + 1
+    } else {
+        len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_identity_by_default() {
+        set_defect(Defect::None);
+        assert_eq!(perturb_selection(2, 4), 2);
+        assert_eq!(perturb_block_len(17), 17);
+        assert!(active(Defect::None));
+        assert!(!active(Defect::WrongStampCandidate));
+    }
+}

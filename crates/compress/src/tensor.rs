@@ -427,6 +427,9 @@ impl CompressedTensor {
         varint::write_u64(&mut out, self.config.chunk_size as u64);
         varint::write_u64(&mut out, self.blocks.len() as u64);
         for b in &self.blocks {
+            #[cfg(feature = "mutation-hooks")]
+            varint::write_u64(&mut out, crate::mutation::perturb_block_len(b.len()));
+            #[cfg(not(feature = "mutation-hooks"))]
             varint::write_u64(&mut out, b.len() as u64);
             out.extend_from_slice(b);
         }
@@ -442,7 +445,9 @@ impl CompressedTensor {
         let mut pos = 0usize;
         let (pat_len, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
         pos += used;
-        let pat_end = pos + pat_len as usize;
+        let pat_end = pos
+            .checked_add(pat_len as usize)
+            .ok_or(CompressError::Truncated)?;
         let pattern = Pattern::from_compressed_bytes(
             bytes.get(pos..pat_end).ok_or(CompressError::Truncated)?,
         )
@@ -455,11 +460,19 @@ impl CompressedTensor {
         pos += used;
         let (count, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
         pos += used;
+        // Every framed block costs at least its one-byte length varint, so a
+        // claimed count beyond the remaining input is truncated garbage;
+        // reject it before trusting it with an allocation.
+        if count > bytes.len() as u64 {
+            return Err(CompressError::Truncated);
+        }
         let mut blocks = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let (len, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
             pos += used;
-            let end = pos + len as usize;
+            let end = pos
+                .checked_add(len as usize)
+                .ok_or(CompressError::Truncated)?;
             blocks.push(
                 bytes
                     .get(pos..end)

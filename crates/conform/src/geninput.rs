@@ -1,0 +1,105 @@
+//! Shared input construction: structured random bytes and mutations of
+//! known-valid encodings.
+
+use masc_testkit::Rng;
+
+/// Random bytes with run structure (fuzzing pure noise wastes most cases
+/// on the decoders' first length check).
+pub fn structured_bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.range_usize(0, max_len);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        match rng.below(4) {
+            // A run of one repeated byte.
+            0 => {
+                let b = rng.next_u32() as u8;
+                let n = rng.range_usize(1, 16).min(len - out.len());
+                out.extend(std::iter::repeat_n(b, n));
+            }
+            // A little-endian varint-looking chunk.
+            1 => {
+                let n = rng.range_usize(1, 4).min(len - out.len());
+                for _ in 0..n {
+                    out.push(rng.next_u32() as u8 | 0x80);
+                }
+                out.push(rng.next_u32() as u8 & 0x7F);
+            }
+            // Raw random bytes.
+            _ => {
+                let n = rng.range_usize(1, 12).min(len - out.len());
+                for _ in 0..n {
+                    out.push(rng.next_u32() as u8);
+                }
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Applies 1–8 random edits (bit flips, byte sets, inserts, deletes,
+/// truncation, chunk duplication) to `data`.
+pub fn mutate(rng: &mut Rng, data: &mut Vec<u8>) {
+    let edits = rng.range_usize(1, 9);
+    for _ in 0..edits {
+        if data.is_empty() {
+            data.push(rng.next_u32() as u8);
+            continue;
+        }
+        let i = rng.range_usize(0, data.len());
+        match rng.below(6) {
+            0 => data[i] ^= 1 << rng.below(8),
+            1 => data[i] = rng.next_u32() as u8,
+            2 => data.insert(i, rng.next_u32() as u8),
+            3 => {
+                data.remove(i);
+            }
+            4 => data.truncate(i),
+            _ => {
+                let n = rng.range_usize(1, 8).min(data.len() - i);
+                let chunk: Vec<u8> = data[i..i + n].to_vec();
+                data.splice(i..i, chunk);
+            }
+        }
+    }
+}
+
+/// A random finite-or-special `f64` stream serialized as little-endian
+/// bytes: the wire format of the `baseline-roundtrip` oracle.
+pub fn f64_stream_bytes(rng: &mut Rng, max_values: usize) -> Vec<u8> {
+    let n = rng.range_usize(0, max_values);
+    let mut out = Vec::with_capacity(n * 8);
+    let mut smooth = 1.0e-3;
+    for _ in 0..n {
+        let v = match rng.below(8) {
+            // Smooth series — what Jacobian streams actually look like.
+            0..=4 => {
+                smooth += rng.range_f64(-1.0, 1.0) * 1e-4;
+                smooth
+            }
+            5 => rng.range_f64(-1e6, 1e6),
+            6 => f64::from_bits(rng.next_u64()),
+            _ => *[
+                0.0,
+                -0.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+                5e-324,
+            ]
+            .get(rng.below(6) as usize)
+            .expect("index below 6"),
+        };
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes the `f64_stream_bytes` wire format (whole 8-byte words;
+/// a trailing partial word is ignored).
+pub fn f64_stream(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}

@@ -1,0 +1,123 @@
+//! Greedy delta-debugging style input minimization.
+//!
+//! Failing inputs are shrunk before they are written to the corpus: a
+//! minimized entry replays faster, and the shrink loop's "candidate must
+//! still fail" rule guarantees every persisted entry actually reproduces
+//! the failure.
+
+/// Generic byte-level shrink candidates: chunk removals from coarse to
+/// fine, truncations, and byte zeroing.
+pub fn byte_candidates(input: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    if input.is_empty() {
+        return out;
+    }
+    // Halves, quarters, eighths removed.
+    for denom in [2usize, 4, 8] {
+        let chunk = input.len().div_ceil(denom);
+        if chunk == 0 || chunk == input.len() {
+            continue;
+        }
+        let mut start = 0;
+        while start < input.len() {
+            let end = (start + chunk).min(input.len());
+            let mut cand = Vec::with_capacity(input.len() - (end - start));
+            cand.extend_from_slice(&input[..start]);
+            cand.extend_from_slice(&input[end..]);
+            out.push(cand);
+            start = end;
+        }
+    }
+    // Truncations.
+    out.push(input[..input.len() / 2].to_vec());
+    out.push(input[..input.len() - 1].to_vec());
+    // Zero a few bytes (canonicalizes surviving content).
+    for i in [0, input.len() / 2, input.len() - 1] {
+        if input[i] != 0 {
+            let mut cand = input.to_vec();
+            cand[i] = 0;
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Line-oriented shrink candidates for text inputs (netlist decks): drop
+/// each line, then fall back to byte candidates.
+pub fn line_candidates(input: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let lines: Vec<&[u8]> = input.split(|&b| b == b'\n').collect();
+    if lines.len() > 1 {
+        for skip in 0..lines.len() {
+            if lines[skip].is_empty() {
+                continue;
+            }
+            // Rejoin with '\n' so dropping one segment changes nothing else.
+            let mut cand = Vec::with_capacity(input.len());
+            let mut first = true;
+            for (i, line) in lines.iter().enumerate() {
+                if i == skip {
+                    continue;
+                }
+                if !first {
+                    cand.push(b'\n');
+                }
+                first = false;
+                cand.extend_from_slice(line);
+            }
+            if cand.len() < input.len() {
+                out.push(cand);
+            }
+        }
+    }
+    out.extend(byte_candidates(input));
+    out
+}
+
+/// Greedily minimizes `input` with `shrink`-proposed candidates, keeping
+/// any candidate for which `still_fails` returns true, within a budget of
+/// `max_iters` candidate executions.
+pub fn minimize(
+    input: &[u8],
+    max_iters: u32,
+    shrink: impl Fn(&[u8]) -> Vec<Vec<u8>>,
+    mut still_fails: impl FnMut(&[u8]) -> bool,
+) -> Vec<u8> {
+    let mut current = input.to_vec();
+    let mut budget = max_iters;
+    'outer: while budget > 0 {
+        for cand in shrink(&current) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            let smaller =
+                cand.len() < current.len() || (cand.len() == current.len() && cand < current);
+            if smaller && still_fails(&cand) {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_to_single_trigger_byte() {
+        let input: Vec<u8> = (0..64).map(|i| if i == 40 { 0xFF } else { i }).collect();
+        let min = minimize(&input, 500, byte_candidates, |cand| cand.contains(&0xFF));
+        assert_eq!(min, vec![0xFF]);
+    }
+
+    #[test]
+    fn line_candidates_drop_whole_lines() {
+        let input = b"keep\ndrop\nkeep2\n";
+        let cands = line_candidates(input);
+        assert!(cands.iter().any(|c| c == b"keep\nkeep2\n"));
+    }
+}

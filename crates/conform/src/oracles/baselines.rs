@@ -1,0 +1,113 @@
+//! Baseline-compressor oracles: round trips and panic-free decode for the
+//! five comparison compressors.
+
+use crate::geninput;
+use crate::oracle::Oracle;
+use masc_baselines::{ChimpLike, Compressor, FpzipLike, GzipLike, NdzipLike, SpiceMate};
+use masc_testkit::Rng;
+
+/// Error bound the lossy SpiceMate baseline is held to.
+const SPICEMATE_EB: f64 = 1e-6;
+
+fn lossless() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(ChimpLike::new()),
+        Box::new(FpzipLike::new()),
+        Box::new(NdzipLike::new()),
+        Box::new(GzipLike::new()),
+    ]
+}
+
+/// Lossless baselines reproduce values bit-exact; SpiceMate stays within
+/// its error bound on finite values and is exact on non-finite ones.
+pub struct BaselineRoundtrip;
+
+impl Oracle for BaselineRoundtrip {
+    fn name(&self) -> &'static str {
+        "baseline-roundtrip"
+    }
+
+    fn describe(&self) -> &'static str {
+        "chimp/fpzip/ndzip/gzip bit-exact, spicemate within error bound"
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Vec<u8> {
+        geninput::f64_stream_bytes(rng, 160)
+    }
+
+    fn check(&self, input: &[u8]) -> Result<(), String> {
+        let values = geninput::f64_stream(input);
+        for c in lossless() {
+            let packed = c.compress(&values);
+            let restored = c
+                .decompress(&packed)
+                .map_err(|e| format!("{} decompress error: {e:?}", c.name()))?;
+            if restored.len() != values.len()
+                || restored
+                    .iter()
+                    .zip(&values)
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                return Err(format!("{} round trip is not bit-exact", c.name()));
+            }
+        }
+        let sm = SpiceMate::new(SPICEMATE_EB);
+        let packed = sm.compress(&values);
+        let restored = sm
+            .decompress(&packed)
+            .map_err(|e| format!("spicemate decompress error: {e:?}"))?;
+        if restored.len() != values.len() {
+            return Err("spicemate length mismatch".to_string());
+        }
+        for (i, (&a, &b)) in restored.iter().zip(&values).enumerate() {
+            let ok = if b.is_finite() {
+                (a - b).abs() <= SPICEMATE_EB * (1.0 + 1e-9)
+            } else {
+                a.to_bits() == b.to_bits()
+            };
+            if !ok {
+                return Err(format!(
+                    "spicemate exceeded its error bound at value {i}: {a:?} vs {b:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Every baseline decoder must reject arbitrary bytes with a structured
+/// error, never a panic.
+pub struct BaselineDecode;
+
+impl Oracle for BaselineDecode {
+    fn name(&self) -> &'static str {
+        "baseline-decode"
+    }
+
+    fn describe(&self) -> &'static str {
+        "all five baseline decoders survive arbitrary bytes"
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Vec<u8> {
+        let payload_bytes = geninput::f64_stream_bytes(rng, 40);
+        let values = geninput::f64_stream(&payload_bytes);
+        let mut all: Vec<Box<dyn Compressor>> = lossless();
+        all.push(Box::new(SpiceMate::new(SPICEMATE_EB)));
+        let pick = rng.below(all.len() as u64 + 1) as usize;
+        let mut data = match all.get(pick) {
+            Some(c) => c.compress(&values),
+            None => geninput::structured_bytes(rng, 300),
+        };
+        geninput::mutate(rng, &mut data);
+        data
+    }
+
+    fn check(&self, input: &[u8]) -> Result<(), String> {
+        let mut all: Vec<Box<dyn Compressor>> = lossless();
+        all.push(Box::new(SpiceMate::new(SPICEMATE_EB)));
+        for c in all {
+            let _ = c.decompress(input);
+        }
+        Ok(())
+    }
+}

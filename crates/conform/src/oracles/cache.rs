@@ -1,0 +1,80 @@
+//! Dataset-cache serialization oracle.
+
+use crate::geninput;
+use crate::oracle::Oracle;
+use masc_datasets::cache::{dataset_from_bytes, dataset_to_bytes};
+use masc_datasets::Dataset;
+use masc_sparse::TripletMatrix;
+use masc_testkit::Rng;
+use std::sync::Arc;
+
+/// A small synthetic dataset (no transient run needed).
+fn tiny_dataset(steps: usize) -> Dataset {
+    let mut t = TripletMatrix::new(3, 3);
+    for i in 0..3 {
+        t.add(i, i, 1.0);
+        if i > 0 {
+            t.add(i, i - 1, -1.0);
+        }
+    }
+    let pattern = t.to_csr().pattern().clone();
+    let nnz = pattern.nnz();
+    let series = |scale: f64| -> Vec<Vec<f64>> {
+        (0..steps)
+            .map(|s| {
+                (0..nnz)
+                    .map(|k| scale + (s * nnz + k) as f64 * 1e-3)
+                    .collect()
+            })
+            .collect()
+    };
+    Dataset {
+        name: "conform-tiny".to_string(),
+        elements: 3,
+        g_pattern: Arc::clone(&pattern),
+        c_pattern: pattern,
+        g_series: series(1.0),
+        c_series: series(2.0),
+        hs: vec![1e-9; steps],
+    }
+}
+
+/// `dataset_from_bytes` survives arbitrary bytes, and whatever it accepts
+/// re-serializes to an identical byte stream (the format is canonical).
+pub struct CacheDecode;
+
+impl Oracle for CacheDecode {
+    fn name(&self) -> &'static str {
+        "cache-decode"
+    }
+
+    fn describe(&self) -> &'static str {
+        "dataset cache decode panic-free; accepted inputs are canonical"
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Vec<u8> {
+        let mut data = if rng.below(4) == 0 {
+            geninput::structured_bytes(rng, 300)
+        } else {
+            dataset_to_bytes(&tiny_dataset(rng.range_usize(0, 6)))
+        };
+        geninput::mutate(rng, &mut data);
+        data
+    }
+
+    fn check(&self, input: &[u8]) -> Result<(), String> {
+        if let Ok(ds) = dataset_from_bytes(input) {
+            let round = dataset_to_bytes(&ds);
+            let ds2 = dataset_from_bytes(&round)
+                .map_err(|e| format!("re-serialized dataset rejected: {e:?}"))?;
+            if ds2.name != ds.name
+                || ds2.elements != ds.elements
+                || ds2.hs.len() != ds.hs.len()
+                || ds2.g_series.len() != ds.g_series.len()
+            {
+                return Err("dataset round trip changed contents".to_string());
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,8 @@
+//! The conformance oracles, grouped by the subsystem they cross-check.
+
+pub mod baselines;
+pub mod cache;
+pub mod codec;
+pub mod parser;
+pub mod store;
+pub mod tensor;

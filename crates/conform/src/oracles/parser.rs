@@ -1,0 +1,99 @@
+//! Netlist parser oracle: panic-free accept/reject, and accepted decks
+//! agree with a serialize → re-parse round trip.
+
+use crate::geninput;
+use crate::oracle::Oracle;
+use masc_circuit::netlist::write_netlist;
+use masc_circuit::parser::{parse_netlist, ParsedNetlist};
+use masc_testkit::gen::{self, Gen};
+use masc_testkit::Rng;
+
+fn compare(p1: &ParsedNetlist, p2: &ParsedNetlist) -> Result<(), String> {
+    let (c1, c2) = (&p1.circuit, &p2.circuit);
+    if c1.devices().len() != c2.devices().len() {
+        return Err(format!(
+            "device count changed: {} -> {}",
+            c1.devices().len(),
+            c2.devices().len()
+        ));
+    }
+    for (a, b) in c1.devices().iter().zip(c2.devices()) {
+        if a.name() != b.name() {
+            return Err(format!("device name changed: {} -> {}", a.name(), b.name()));
+        }
+    }
+    let mut nodes1: Vec<&str> = (0..c1.node_count()).map(|i| c1.node_name(i)).collect();
+    let mut nodes2: Vec<&str> = (0..c2.node_count()).map(|i| c2.node_name(i)).collect();
+    nodes1.sort_unstable();
+    nodes2.sort_unstable();
+    if nodes1 != nodes2 {
+        return Err(format!("node set changed: {nodes1:?} -> {nodes2:?}"));
+    }
+    let (params1, params2) = (c1.params(), c2.params());
+    if params1.len() != params2.len() {
+        return Err("parameter count changed".to_string());
+    }
+    for (a, b) in params1.iter().zip(&params2) {
+        let (va, vb) = (c1.param_value(a), c2.param_value(b));
+        if va.to_bits() != vb.to_bits() && !(va.is_nan() && vb.is_nan()) {
+            return Err(format!("parameter value changed: {va:?} -> {vb:?}"));
+        }
+    }
+    match (&p1.tran, &p2.tran) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            if a.dt.to_bits() != b.dt.to_bits() || a.t_stop.to_bits() != b.t_stop.to_bits() {
+                return Err(".tran changed across round trip".to_string());
+            }
+        }
+        _ => return Err(".tran presence changed across round trip".to_string()),
+    }
+    Ok(())
+}
+
+/// Parser accept/reject is panic-free; accepted decks survive
+/// `write_netlist` → `parse_netlist` with the same devices, nodes,
+/// parameter values, and `.tran`.
+pub struct ParserRoundtrip;
+
+impl Oracle for ParserRoundtrip {
+    fn name(&self) -> &'static str {
+        "parser-roundtrip"
+    }
+
+    fn describe(&self) -> &'static str {
+        "netlist parse panic-free + serialize/re-parse agreement"
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Vec<u8> {
+        let mut deck = gen::netlists(4).generate(rng).into_bytes();
+        match rng.below(5) {
+            // Mostly valid decks: the round-trip leg only fires on accept.
+            0 | 1 => {}
+            2 | 3 => geninput::mutate(rng, &mut deck),
+            _ => {
+                // ASCII-ish line soup for the reject path.
+                deck = geninput::structured_bytes(rng, 300)
+                    .into_iter()
+                    .map(|b| if b == 0 { b'\n' } else { b })
+                    .collect();
+            }
+        }
+        deck
+    }
+
+    fn check(&self, input: &[u8]) -> Result<(), String> {
+        let text = String::from_utf8_lossy(input);
+        let Ok(p1) = parse_netlist(&text) else {
+            return Ok(());
+        };
+        let regenerated = write_netlist(&p1);
+        let p2 = parse_netlist(&regenerated)
+            .map_err(|e| format!("regenerated deck rejected: {e} — deck:\n{regenerated}"))?;
+        compare(&p1, &p2).map_err(|msg| format!("{msg}\nregenerated deck:\n{regenerated}"))
+    }
+
+    fn shrink(&self, input: &[u8]) -> Vec<Vec<u8>> {
+        crate::minimize::line_candidates(input)
+    }
+}

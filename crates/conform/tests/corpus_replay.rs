@@ -1,0 +1,183 @@
+//! Crash-corpus regression tests.
+//!
+//! `tests/corpus/` (workspace root) pins inputs that used to panic or
+//! over-allocate in the decoders before they were hardened. Every entry
+//! must replay cleanly through its recorded oracle; a regression in the
+//! hardening shows up here as a panic-turned-failure.
+//!
+//! The pinned payloads are also constructed in code below
+//! ([`pinned_entries`]) so the test protects against corpus-file loss,
+//! and so `regenerate_pinned_entries` (`--ignored`) can rewrite the
+//! checked-in files deterministically.
+
+use masc_compress::{MascConfig, TensorCompressor};
+use masc_conform::corpus::CorpusEntry;
+use masc_conform::{all_oracles, run_input, runner};
+use masc_sparse::TripletMatrix;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus"))
+}
+
+/// LEB128 of `u64::MAX`: the classic hostile length claim.
+fn varint_max() -> Vec<u8> {
+    let mut out = Vec::new();
+    masc_bitio::varint::write_u64(&mut out, u64::MAX);
+    out
+}
+
+/// Serialized empty MASC tensor with its trailing block-count varint
+/// replaced by `u64::MAX` — used to demand an absurd block allocation.
+fn tensor_with_hostile_count() -> Vec<u8> {
+    let mut t = TripletMatrix::new(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(1, 1, 1.0);
+    let pattern = t.to_csr().pattern().clone();
+    let mut bytes = TensorCompressor::new(pattern, MascConfig::default())
+        .finish()
+        .to_bytes();
+    // With zero steps the block count is the final varint (a single 0x00).
+    assert_eq!(bytes.pop(), Some(0));
+    bytes.extend_from_slice(&varint_max());
+    bytes
+}
+
+/// Serialized tensor whose embedded pattern's row-pointer delta block
+/// claims `u64::MAX` elements — found by fuzzing: `decode_deltas` used to
+/// pass the claim straight to `Vec::with_capacity`, aborting the process
+/// (alloc failure, not even an unwindable panic).
+fn tensor_with_hostile_pattern_deltas() -> Vec<u8> {
+    // Pattern wire format: varint rows, cols, row-ptr block length, then
+    // the row-ptr delta block (whose first varint is the element count).
+    let mut pattern = vec![2u8, 2];
+    let deltas = varint_max();
+    pattern.push(deltas.len() as u8);
+    pattern.extend_from_slice(&deltas);
+    // Tensor wire format: varint pattern length, then the pattern.
+    let mut bytes = vec![pattern.len() as u8];
+    bytes.extend_from_slice(&pattern);
+    bytes
+}
+
+/// Serialized zero-step dataset with its trailing step-count varint
+/// replaced by `u64::MAX`.
+fn dataset_with_hostile_steps() -> Vec<u8> {
+    let mut t = TripletMatrix::new(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(1, 1, 1.0);
+    let pattern = t.to_csr().pattern().clone();
+    let dataset = masc_datasets::Dataset {
+        name: "pin".to_string(),
+        elements: 2,
+        g_pattern: Arc::clone(&pattern),
+        c_pattern: pattern,
+        g_series: Vec::new(),
+        c_series: Vec::new(),
+        hs: Vec::new(),
+    };
+    let mut bytes = masc_datasets::cache::dataset_to_bytes(&dataset);
+    // With zero steps the step count is the final varint (a single 0x00).
+    assert_eq!(bytes.pop(), Some(0));
+    bytes.extend_from_slice(&varint_max());
+    bytes
+}
+
+/// The pinned regressions: each payload used to panic (capacity overflow
+/// or unchecked arithmetic) in the named oracle's decoders.
+fn pinned_entries() -> Vec<CorpusEntry> {
+    let mut rle_run = vec![8u8]; // word count 8 ...
+    rle_run.extend_from_slice(&varint_max()); // ... then a u64::MAX zero run
+    vec![
+        // rle: `u64::MAX` claimed word count (capacity overflow); the same
+        // bytes also exercise huffman's and rans's hostile length paths.
+        CorpusEntry {
+            oracle: "codec-decode".to_string(),
+            seed: 1,
+            payload: varint_max(),
+        },
+        // rle: plausible word count but a zero run exceeding it.
+        CorpusEntry {
+            oracle: "codec-decode".to_string(),
+            seed: 2,
+            payload: rle_run,
+        },
+        // chimp/fpzip/gzip/spicemate: `u64::MAX` claimed value count.
+        CorpusEntry {
+            oracle: "baseline-decode".to_string(),
+            seed: 1,
+            payload: varint_max(),
+        },
+        // tensor header claiming `u64::MAX` compressed blocks.
+        CorpusEntry {
+            oracle: "tensor-decode".to_string(),
+            seed: 1,
+            payload: tensor_with_hostile_count(),
+        },
+        // pattern delta block claiming `u64::MAX` indices (fuzzer find).
+        CorpusEntry {
+            oracle: "tensor-decode".to_string(),
+            seed: 2,
+            payload: tensor_with_hostile_pattern_deltas(),
+        },
+        // dataset cache claiming `u64::MAX` series steps.
+        CorpusEntry {
+            oracle: "cache-decode".to_string(),
+            seed: 1,
+            payload: dataset_with_hostile_steps(),
+        },
+    ]
+}
+
+/// The hardened decoders survive every pinned payload (independent of the
+/// checked-in corpus files).
+#[test]
+fn pinned_payloads_replay_clean() {
+    let oracles = all_oracles();
+    for entry in pinned_entries() {
+        let oracle = oracles
+            .iter()
+            .find(|o| o.name() == entry.oracle)
+            .unwrap_or_else(|| panic!("unknown oracle {:?}", entry.oracle));
+        if let Err(msg) = run_input(oracle.as_ref(), &entry.payload) {
+            panic!(
+                "pinned {} payload (seed {}) regressed: {msg}",
+                entry.oracle, entry.seed
+            );
+        }
+    }
+}
+
+/// Every checked-in corpus entry replays cleanly through its oracle.
+#[test]
+fn checked_in_corpus_replays_clean() {
+    let dir = corpus_dir();
+    let entries = masc_conform::corpus::load_dir(&dir).expect("corpus dir readable");
+    assert!(
+        !entries.is_empty(),
+        "expected pinned entries under {}",
+        dir.display()
+    );
+    let failures = runner::replay_corpus(&all_oracles(), &dir).expect("corpus dir readable");
+    assert!(
+        failures.is_empty(),
+        "corpus regressions: {:#?}",
+        failures
+            .iter()
+            .map(|(p, m)| format!("{}: {m}", p.display()))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Rewrites the checked-in pinned entries. Run manually after changing
+/// [`pinned_entries`]: `cargo test -p masc-conform --test corpus_replay -- --ignored`.
+#[test]
+#[ignore = "writes into tests/corpus/; run manually to regenerate"]
+fn regenerate_pinned_entries() {
+    let dir = corpus_dir();
+    for entry in pinned_entries() {
+        let path = masc_conform::corpus::write_entry(&dir, &entry).expect("write corpus entry");
+        eprintln!("wrote {}", path.display());
+    }
+}

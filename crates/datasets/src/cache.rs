@@ -58,7 +58,9 @@ fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], CacheError> {
     let (len, used) = varint::read_u64(buf.get(*pos..).ok_or(CacheError::Corrupt("truncated"))?)?;
     *pos += used;
-    let end = *pos + len as usize;
+    let end = pos
+        .checked_add(len as usize)
+        .ok_or(CacheError::Corrupt("truncated"))?;
     let slice = buf.get(*pos..end).ok_or(CacheError::Corrupt("truncated"))?;
     *pos = end;
     Ok(slice)
@@ -74,7 +76,10 @@ fn write_f64s(out: &mut Vec<u8>, values: &[f64]) {
 fn read_f64s(buf: &[u8], pos: &mut usize) -> Result<Vec<f64>, CacheError> {
     let (len, used) = varint::read_u64(buf.get(*pos..).ok_or(CacheError::Corrupt("truncated"))?)?;
     *pos += used;
-    let end = *pos + len as usize * 8;
+    let end = (len as usize)
+        .checked_mul(8)
+        .and_then(|b| pos.checked_add(b))
+        .ok_or(CacheError::Corrupt("truncated"))?;
     let bytes = buf.get(*pos..end).ok_or(CacheError::Corrupt("truncated"))?;
     *pos = end;
     Ok(bytes
@@ -122,6 +127,12 @@ pub fn dataset_from_bytes(buf: &[u8]) -> Result<Dataset, CacheError> {
     let hs = read_f64s(buf, &mut pos)?;
     let (steps, used) = varint::read_u64(buf.get(pos..).ok_or(CacheError::Corrupt("truncated"))?)?;
     pos += used;
+    // Every step costs at least two length varints, so a claimed step count
+    // beyond the remaining input is truncated garbage; reject it before
+    // trusting it with an allocation.
+    if steps > buf.len() as u64 {
+        return Err(CacheError::Corrupt("truncated"));
+    }
     let mut g_series = Vec::with_capacity(steps as usize);
     let mut c_series = Vec::with_capacity(steps as usize);
     for _ in 0..steps {

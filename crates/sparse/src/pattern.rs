@@ -256,7 +256,9 @@ impl Pattern {
         pos += used;
         let (rp_len, used) = varint::read_u64(&bytes[pos..]).map_err(|_| truncated.clone())?;
         pos += used;
-        let rp_end = pos + rp_len as usize;
+        let rp_end = pos
+            .checked_add(rp_len as usize)
+            .ok_or_else(|| truncated.clone())?;
         if rp_end > bytes.len() {
             return Err(truncated);
         }

@@ -15,5 +15,6 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --release --offline --workspace --benches
 run env RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 run cargo test -q --offline --workspace
+run cargo run -q --offline --release -p masc-conform -- --budget 30 --seed 4
 
 echo "==> ci: all checks passed"

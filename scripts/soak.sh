@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Long-running fuzz soak: runs the masc-conform harness far past the CI
+# budget, with a time-derived seed so successive soaks explore different
+# cases. Any failure is minimized and persisted under tests/corpus/ —
+# commit the new .case file together with the fix.
+#
+# Usage: scripts/soak.sh [budget-seconds] [extra masc-conform args...]
+# Default budget: 600 s. Examples:
+#   scripts/soak.sh 3600
+#   scripts/soak.sh 120 --only store-equiv
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budget="${1:-600}"
+shift || true
+
+seed="${MASC_SOAK_SEED:-$(date +%s)}"
+echo "==> soak: budget ${budget}s, seed ${seed} (rerun with MASC_SOAK_SEED=${seed})"
+
+cargo run -q --offline --release -p masc-conform -- \
+    --budget "${budget}" --seed "${seed}" "$@"
