@@ -50,6 +50,8 @@ impl Objective {
     /// # Panics
     ///
     /// Panics if the referenced step or unknown is out of range.
+    // Documented panicking contract on caller-held (not decoded) data.
+    #[allow(clippy::disallowed_methods)]
     pub fn value(&self, states: &[Vec<f64>], hs: &[f64]) -> f64 {
         match *self {
             Objective::FinalValue { unknown } => {

@@ -389,7 +389,7 @@ impl DiskReader {
         let step_len = self.step_len();
         let lo = (step + 1).saturating_sub(CHUNK_STEPS);
         let hi = step + 1;
-        let len = (hi - lo) * step_len;
+        let len = (hi - lo).min(CHUNK_STEPS) * step_len;
         let spill = self
             .spill
             .as_mut()

@@ -253,6 +253,9 @@ impl TensorLayout {
     }
 
     fn gather(slots: &[usize], union_values: &[f64]) -> Vec<f64> {
+        // Slot maps are union indices computed at elaboration time and are
+        // always in range for the union value vector.
+        debug_assert!(slots.iter().all(|&s| s < union_values.len()));
         slots.iter().map(|&s| union_values[s]).collect()
     }
 }

@@ -3,6 +3,10 @@
 //! how many payload bytes exist, and its prefetch counters must account
 //! for every reverse-pass fetch.
 
+// Tests may assert with unwrap/expect; the crate's clippy.toml bans them
+// in shipping code only (masc-lint rule R1).
+#![allow(clippy::disallowed_methods)]
+
 use masc_adjoint::store::{ForwardRecord, StepMatrices, StoreConfig, StoreMetrics, TensorLayout};
 use masc_circuit::transient::JacobianSink;
 use masc_compress::MascConfig;

@@ -4,6 +4,10 @@
 //! on any path, and truncated tensors must decode to
 //! [`StoreError::TensorTruncated`].
 
+// Tests may assert with unwrap/expect; the crate's clippy.toml bans them
+// in shipping code only (masc-lint rule R1).
+#![allow(clippy::disallowed_methods)]
+
 use masc_adjoint::store::{
     BackwardReader, CompressedStore, DiskStore, FailingWriter, ForwardRecord, JacobianStore,
     StepMatrices, StoreConfig, StoreError, StoreMetrics, TensorLayout,

@@ -45,6 +45,9 @@ impl FpzipLike {
     /// Lorenzo prediction for element `i` given everything before it.
     #[inline]
     fn predict(&self, values: &[f64], i: usize) -> u64 {
+        // On decode `values` holds exactly the `i` already-reconstructed
+        // elements; every read below lands strictly before `i`.
+        debug_assert!(i <= values.len(), "prediction context must cover i");
         if self.row_len == 0 || i < self.row_len {
             // 1-D / first row: previous value.
             return if i == 0 { 0 } else { values[i - 1].to_bits() };

@@ -127,9 +127,12 @@ impl Compressor for SpiceMate {
             let (code, used) = varint::read_u64(&codes[cpos..])?;
             cpos += used;
             if code == 0 {
-                let raw = exact.get(..8).ok_or(CodecError::Truncated)?;
-                prev = f64::from_le_bytes(raw.try_into().expect("8 bytes"));
-                exact = &exact[8..];
+                let raw: [u8; 8] = exact
+                    .get(..8)
+                    .and_then(|s| s.try_into().ok())
+                    .ok_or(CodecError::Truncated)?;
+                prev = f64::from_le_bytes(raw);
+                exact = exact.get(8..).unwrap_or(&[]);
             } else {
                 let bin = code as i64 - BIAS;
                 prev += (bin as f64) * 2.0 * eb;

@@ -30,9 +30,13 @@
 //! # }
 //! ```
 
+// Unit tests may assert with unwrap/expect; shipping code may not (see
+// clippy.toml and masc-lint rule R1).
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounded;
 pub mod varint;
 
 use core::fmt;
@@ -86,6 +90,7 @@ impl BitWriter {
     /// Creates an empty writer with capacity for `bytes` output bytes.
     pub fn with_capacity(bytes: usize) -> Self {
         Self {
+            // masc-lint: allow(unbounded-alloc, reason = "encoder-side capacity hint chosen by the caller, not decoded from a stream")
             bytes: Vec::with_capacity(bytes),
             nbits: 0,
             current: 0,

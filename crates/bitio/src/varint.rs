@@ -121,10 +121,12 @@ pub fn decode_deltas(buf: &[u8]) -> Result<Vec<usize>, VarintError> {
     // Every delta costs at least one byte, so a claimed count beyond the
     // remaining input is truncated garbage; reject it before trusting it
     // with an allocation.
-    if len > (buf.len() - pos) as u64 {
-        return Err(VarintError::Truncated);
-    }
-    let mut out = Vec::with_capacity(len as usize);
+    let mut out = crate::bounded::bounded_capacity(
+        "delta-coded index array",
+        len as usize,
+        buf.len().saturating_sub(pos),
+    )
+    .map_err(|_| VarintError::Truncated)?;
     let mut prev: i64 = 0;
     for _ in 0..len {
         let (raw, used) = read_u64(&buf[pos..])?;

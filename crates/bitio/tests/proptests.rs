@@ -1,5 +1,9 @@
 //! Property-based tests for bit I/O and varint coding (masc-testkit).
 
+// Tests may assert with unwrap/expect; the crate's clippy.toml bans them
+// in shipping code only (masc-lint rule R1).
+#![allow(clippy::disallowed_methods)]
+
 use masc_bitio::{varint, BitReader, BitWriter};
 use masc_testkit::gen::{self, Gen};
 use masc_testkit::{prop, prop_assert, prop_assert_eq};

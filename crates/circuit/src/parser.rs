@@ -66,12 +66,27 @@ fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
     }
 }
 
+/// Error from [`parse_value`]: the token is not a SPICE number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValueError {
+    /// The offending token.
+    pub text: String,
+}
+
+impl fmt::Display for ParseValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid number {:?}", self.text)
+    }
+}
+
+impl std::error::Error for ParseValueError {}
+
 /// Parses a SPICE number with engineering suffix (`1k`, `2.2u`, `3meg`, …).
 ///
 /// # Errors
 ///
-/// Returns a unit-struct error message if the text is not a number.
-pub fn parse_value(text: &str) -> Result<f64, String> {
+/// Returns [`ParseValueError`] if the text is not a number.
+pub fn parse_value(text: &str) -> Result<f64, ParseValueError> {
     let lower = text.to_ascii_lowercase();
     let (digits, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
         (stripped, 1e6)
@@ -98,7 +113,9 @@ pub fn parse_value(text: &str) -> Result<f64, String> {
     digits
         .parse::<f64>()
         .map(|v| v * mult)
-        .map_err(|_| format!("invalid number {text:?}"))
+        .map_err(|_| ParseValueError {
+            text: text.to_string(),
+        })
 }
 
 /// Splits `key=value` tokens out of a token list.
@@ -134,10 +151,12 @@ fn parse_waveform(tokens: &[String], line: usize) -> Result<Waveform, ParseNetli
         if close < open + 1 {
             return Err(err(line, format!("{name}: ')' before '('")));
         }
-        joined[open + 1..close]
+        joined
+            .get(open + 1..close)
+            .ok_or_else(|| err(line, format!("{name}: malformed argument list")))?
             .split([' ', ','])
             .filter(|s| !s.is_empty())
-            .map(|s| parse_value(s).map_err(|m| err(line, m)))
+            .map(|s| parse_value(s).map_err(|m| err(line, m.to_string())))
             .collect()
     };
     if upper.starts_with("PULSE") {
@@ -175,10 +194,12 @@ fn parse_waveform(tokens: &[String], line: usize) -> Result<Waveform, ParseNetli
         Ok(Waveform::Pwl(points))
     } else if upper.starts_with("DC") {
         let value = tokens.get(1).ok_or_else(|| err(line, "DC needs a value"))?;
-        Ok(Waveform::Dc(parse_value(value).map_err(|m| err(line, m))?))
+        Ok(Waveform::Dc(
+            parse_value(value).map_err(|m| err(line, m.to_string()))?,
+        ))
     } else {
         Ok(Waveform::Dc(
-            parse_value(&tokens[0]).map_err(|m| err(line, m))?,
+            parse_value(&tokens[0]).map_err(|m| err(line, m.to_string()))?,
         ))
     }
 }
@@ -230,8 +251,8 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
             if tokens.len() < 3 {
                 return Err(err(lineno, ".tran needs dt and tstop"));
             }
-            let dt = parse_value(tokens[1]).map_err(|m| err(lineno, m))?;
-            let t_stop = parse_value(tokens[2]).map_err(|m| err(lineno, m))?;
+            let dt = parse_value(tokens[1]).map_err(|m| err(lineno, m.to_string()))?;
+            let t_stop = parse_value(tokens[2]).map_err(|m| err(lineno, m.to_string()))?;
             if dt <= 0.0 || t_stop < dt {
                 return Err(err(lineno, ".tran needs 0 < dt <= tstop"));
             }
@@ -288,7 +309,7 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
                     need(4)?;
                     let a = circuit.node(tokens[1]).unknown();
                     let b = circuit.node(tokens[2]).unknown();
-                    let value = parse_value(tokens[3]).map_err(|m| err(lineno, m))?;
+                    let value = parse_value(tokens[3]).map_err(|m| err(lineno, m.to_string()))?;
                     if value <= 0.0 {
                         return Err(err(lineno, format!("{head}: value must be positive")));
                     }
@@ -304,7 +325,7 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
                     let b = circuit.node(tokens[2]).unknown();
                     let cp = circuit.node(tokens[3]).unknown();
                     let cn = circuit.node(tokens[4]).unknown();
-                    let value = parse_value(tokens[5]).map_err(|m| err(lineno, m))?;
+                    let value = parse_value(tokens[5]).map_err(|m| err(lineno, m.to_string()))?;
                     if kind == 'G' {
                         Device::Vccs(Vccs::new(name, a, b, cp, cn, value))
                     } else {
@@ -330,7 +351,7 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
                     let (_, kv) = split_kv(&tokens[3..]);
                     let mut d = Diode::new(name, a, c);
                     for (k, v) in kv {
-                        let value = parse_value(&v).map_err(|m| err(lineno, m))?;
+                        let value = parse_value(&v).map_err(|m| err(lineno, m.to_string()))?;
                         match k.as_str() {
                             "is" => d.is_sat = value,
                             "n" => d.n_emission = value,
@@ -358,7 +379,7 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
                         }
                     }
                     for (k, v) in kv {
-                        let value = parse_value(&v).map_err(|m| err(lineno, m))?;
+                        let value = parse_value(&v).map_err(|m| err(lineno, m.to_string()))?;
                         match k.as_str() {
                             "is" => q.is_sat = value,
                             "bf" => q.beta_f = value,
@@ -386,7 +407,7 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
                     };
                     let mut m = Mosfet::new(name, d, g, s, polarity);
                     for (k, v) in kv {
-                        let value = parse_value(&v).map_err(|m| err(lineno, m))?;
+                        let value = parse_value(&v).map_err(|m| err(lineno, m.to_string()))?;
                         match k.as_str() {
                             "kp" => m.kp = value,
                             "vt0" => m.vt0 = value,
@@ -400,7 +421,9 @@ pub fn parse_netlist(source: &str) -> Result<ParsedNetlist, ParseNetlistError> {
                     }
                     Device::Mosfet(m)
                 }
-                _ => unreachable!("filtered above"),
+                // The `known` filter above admits only the listed letters;
+                // keep the residual arm a structured error, not a panic.
+                _ => return Err(err(lineno, format!("unknown element type {kind:?}"))),
             };
             Ok(device)
         })();

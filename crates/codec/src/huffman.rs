@@ -73,15 +73,19 @@ fn unrestricted_code_lengths(freqs: &[u64]) -> Vec<u32> {
         0 => return lengths,
         1 => {
             // A single distinct symbol still needs a 1-bit code.
-            let std::cmp::Reverse((_, idx)) = heap.pop().expect("non-empty");
-            lengths[arena[idx].symbol] = 1;
+            if let Some(std::cmp::Reverse((_, idx))) = heap.pop() {
+                lengths[arena[idx].symbol] = 1;
+            }
             return lengths;
         }
         _ => {}
     }
     while heap.len() > 1 {
-        let std::cmp::Reverse((fa, a)) = heap.pop().expect("len > 1");
-        let std::cmp::Reverse((fb, b)) = heap.pop().expect("len > 1");
+        let (Some(std::cmp::Reverse((fa, a))), Some(std::cmp::Reverse((fb, b)))) =
+            (heap.pop(), heap.pop())
+        else {
+            break;
+        };
         arena.push(Node {
             left: a,
             right: b,
@@ -89,7 +93,9 @@ fn unrestricted_code_lengths(freqs: &[u64]) -> Vec<u32> {
         });
         heap.push(std::cmp::Reverse((fa + fb, arena.len() - 1)));
     }
-    let std::cmp::Reverse((_, root)) = heap.pop().expect("root");
+    let Some(std::cmp::Reverse((_, root))) = heap.pop() else {
+        return lengths;
+    };
     // Iterative DFS assigning depths.
     let mut stack = vec![(root, 0u32)];
     while let Some((idx, depth)) = stack.pop() {
@@ -109,10 +115,14 @@ fn unrestricted_code_lengths(freqs: &[u64]) -> Vec<u32> {
 /// Symbols are ordered by (length, symbol value); codes are consecutive
 /// integers within each length, shifted as length increases.
 pub fn canonical_codes(lengths: &[u32]) -> Vec<u64> {
-    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    // Every in-repo caller caps lengths at MAX_CODE_LEN first; clamp here
+    // too so hostile lengths fed directly to this pub fn cannot size the
+    // per-length tables at up to u32::MAX entries.
+    let max_len = lengths.iter().copied().max().unwrap_or(0).min(MAX_CODE_LEN);
     let mut bl_count = vec![0u64; max_len as usize + 1];
     for &l in lengths {
-        if l > 0 {
+        // Lengths beyond the clamp get no code (they are invalid input).
+        if l > 0 && l <= max_len {
             bl_count[l as usize] += 1;
         }
     }
@@ -124,7 +134,7 @@ pub fn canonical_codes(lengths: &[u32]) -> Vec<u64> {
     }
     let mut codes = vec![0u64; lengths.len()];
     for (sym, &l) in lengths.iter().enumerate() {
-        if l > 0 {
+        if l > 0 && l <= max_len {
             codes[sym] = next_code[l as usize];
             next_code[l as usize] += 1;
         }

@@ -49,6 +49,7 @@ pub enum Token {
 
 #[inline]
 fn hash3(data: &[u8], pos: usize) -> usize {
+    debug_assert!(pos + 2 < data.len(), "hash3 reads 3 bytes at pos");
     let h = u32::from(data[pos])
         .wrapping_mul(506_832_829)
         .wrapping_add(u32::from(data[pos + 1]).wrapping_mul(2_654_435_761))

@@ -20,7 +20,7 @@
 //! ```
 
 use crate::CodecError;
-use masc_bitio::varint;
+use masc_bitio::{bounded, varint};
 
 /// Upper bound on a stream's claimed decompressed word count.
 ///
@@ -69,7 +69,8 @@ pub fn decode_words(packed: &[u8]) -> Result<Vec<u64>, CodecError> {
         return Err(CodecError::Corrupt("implausible word count"));
     }
     let count = count as usize;
-    let mut out = Vec::with_capacity(count);
+    let mut out = bounded::bounded_capacity("rle word buffer", count, MAX_DECODE_WORDS as usize)
+        .map_err(|_| CodecError::Corrupt("implausible word count"))?;
     while out.len() < count {
         let (zeros, used) = varint::read_u64(&packed[pos..])?;
         pos += used;
@@ -83,8 +84,11 @@ pub fn decode_words(packed: &[u8]) -> Result<Vec<u64>, CodecError> {
             return Err(CodecError::Corrupt("literal run overshoots word count"));
         }
         for _ in 0..lits {
-            let bytes = packed.get(pos..pos + 8).ok_or(CodecError::Truncated)?;
-            out.push(u64::from_le_bytes(bytes.try_into().expect("8 bytes")));
+            let bytes: [u8; 8] = packed
+                .get(pos..pos + 8)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(CodecError::Truncated)?;
+            out.push(u64::from_le_bytes(bytes));
             pos += 8;
         }
         if zeros == 0 && lits == 0 && out.len() < count {

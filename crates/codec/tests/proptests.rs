@@ -2,6 +2,10 @@
 //! (masc-testkit), plus adversarial fixed inputs: empty streams,
 //! single-symbol and all-equal payloads, and special-float byte images.
 
+// Tests may assert with unwrap/expect; the crate's clippy.toml bans them
+// in shipping code only (masc-lint rule R1).
+#![allow(clippy::disallowed_methods)]
+
 use masc_codec::{huffman, lzss, range, rans, rle, transform};
 use masc_testkit::gen::{self, Gen};
 use masc_testkit::{prop, prop_assert_eq};

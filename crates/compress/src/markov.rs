@@ -45,7 +45,11 @@ impl MarkovModel {
 
     /// Records an observed best-fit selection (warm-up phase) and advances
     /// the chain.
+    ///
+    /// Callers must validate `code < candidate_count()` first (the decode
+    /// path rejects out-of-range wire codes before observing them).
     pub fn observe(&mut self, region: Region, code: u32) {
+        debug_assert!((code as usize) < CODES, "selection code out of range");
         let r = region.index();
         let p = self.prev[r] as usize;
         self.counts[r][p][code as usize] += 1;
@@ -58,6 +62,8 @@ impl MarkovModel {
     /// Deterministic (argmax with lowest-code tie-breaking), so encoder and
     /// decoder stay synchronized without any side information.
     pub fn predict(&mut self, region: Region) -> u32 {
+        // The chain state only ever holds validated codes (see `observe`).
+        debug_assert!(self.prev.iter().all(|&p| (p as usize) < CODES));
         let r = region.index();
         let p = self.prev[r] as usize;
         let row = &self.counts[r][p];

@@ -126,6 +126,7 @@ pub(crate) fn encode_range(
             predicted
         };
         stats.record_selection(StampMaps::model_class(region, code));
+        debug_assert!((code as usize) < cands.len(), "selection within candidates");
         let residual = truth.to_bits() ^ cands[code as usize].to_bits();
         encode_residual(w, &mut res_state, residual, stats);
     }
@@ -221,9 +222,8 @@ pub(crate) fn parse_header(
     let expected_checksum = if flags & FLAG_CHECKSUM != 0 {
         let cs: [u8; 8] = bytes
             .get(pos..pos + 8)
-            .ok_or(CompressError::Truncated)?
-            .try_into()
-            .expect("8 bytes");
+            .and_then(|s| s.try_into().ok())
+            .ok_or(CompressError::Truncated)?;
         pos += 8;
         Some(u64::from_le_bytes(cs))
     } else {
@@ -233,9 +233,8 @@ pub(crate) fn parse_header(
     let (warmup_permille, min_warmup) = if markov {
         let pm: [u8; 2] = bytes
             .get(pos..pos + 2)
-            .ok_or(CompressError::Truncated)?
-            .try_into()
-            .expect("2 bytes");
+            .and_then(|s| s.try_into().ok())
+            .ok_or(CompressError::Truncated)?;
         pos += 2;
         let (mw, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
         pos += used;

@@ -83,7 +83,9 @@ pub fn compress_matrix_parallel(
                 });
             }
         });
-        encoded.extend(slots.into_iter().map(|s| s.expect("all chunks encoded")));
+        // Every slot is filled before the scope exits (a panicking worker
+        // aborts the scope), so flattening drops nothing.
+        encoded.extend(slots.into_iter().flatten());
     }
 
     let mut stats = CompressStats::new();
@@ -226,7 +228,12 @@ pub fn decompress_matrix_parallel(
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|h| {
+                    // Joining consumes a worker panic; surface it as a
+                    // structured decode error instead of unwinding.
+                    h.join()
+                        .unwrap_or(Err(CompressError::Corrupt("decode worker panicked")))
+                })
                 .collect()
         });
         for result in results {

@@ -144,7 +144,7 @@ impl StampMaps {
             prev_same[w[1]] = w[0];
         }
 
-        let mut order_pos = vec![0usize; nnz];
+        let mut order_pos = vec![0usize; order.len()];
         for (pos, &k) in order.iter().enumerate() {
             order_pos[k] = pos;
         }
@@ -167,7 +167,12 @@ impl StampMaps {
     }
 
     /// Region of value index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a value index of the pattern.
     pub fn region_of(&self, k: usize) -> Region {
+        debug_assert!(k < self.region.len(), "k must be a value index");
         self.region[k]
     }
 
@@ -179,7 +184,12 @@ impl StampMaps {
     }
 
     /// Position of value index `k` in the encode [`order`](Self::order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a value index of the pattern.
     pub fn order_pos_of(&self, k: usize) -> usize {
+        debug_assert!(k < self.order_pos.len(), "k must be a value index");
         self.order_pos[k]
     }
 
@@ -202,6 +212,7 @@ impl StampMaps {
         sign_invert: bool,
         chunk_start: usize,
     ) -> [f64; 4] {
+        debug_assert!(k < self.region.len(), "k must be a value index");
         let temporal = reference[k];
         let s = if sign_invert { -1.0 } else { 1.0 };
         // All spatial candidates read the current matrix; a partner is
@@ -209,6 +220,12 @@ impl StampMaps {
         // within this chunk (D ≺ L ≺ U ordering guarantees the region-level
         // causality; `order_pos` enforces it per chunk).
         let my_pos = self.order_pos[k];
+        let (transpose, diag_row, diag_col, prev_same) = (
+            self.transpose[k],
+            self.diag_row[k],
+            self.diag_col[k],
+            self.prev_same[k],
+        );
         let fetch_cur = |idx: usize, scale: f64| -> f64 {
             if idx == NONE || self.order_pos[idx] < chunk_start || self.order_pos[idx] >= my_pos {
                 temporal
@@ -219,22 +236,17 @@ impl StampMaps {
         match self.region[k] {
             Region::Upper => [
                 temporal,
-                fetch_cur(self.transpose[k], 1.0),
-                fetch_cur(self.diag_row[k], s),
-                fetch_cur(self.diag_col[k], s),
+                fetch_cur(transpose, 1.0),
+                fetch_cur(diag_row, s),
+                fetch_cur(diag_col, s),
             ],
             Region::Lower => [
                 temporal,
-                fetch_cur(self.diag_row[k], s),
-                fetch_cur(self.diag_col[k], s),
-                fetch_cur(self.prev_same[k], 1.0),
+                fetch_cur(diag_row, s),
+                fetch_cur(diag_col, s),
+                fetch_cur(prev_same, 1.0),
             ],
-            Region::Diag => [
-                temporal,
-                fetch_cur(self.prev_same[k], 1.0),
-                temporal,
-                temporal,
-            ],
+            Region::Diag => [temporal, fetch_cur(prev_same, 1.0), temporal, temporal],
         }
     }
 

@@ -141,15 +141,10 @@ impl TensorCompressor {
             self.pattern.nnz(),
             "value count != pattern nnz"
         );
-        let newest = values.to_vec();
-        if let Some(prev) = self.pending.replace(newest) {
+        let prev = self.pending.replace(values.to_vec());
+        if let (Some(prev), Some(newest)) = (prev, self.pending.as_ref()) {
             let start = Instant::now();
-            let (bytes, stats) = compress_dispatch(
-                &prev,
-                self.pending.as_ref().expect("just set"),
-                &self.maps,
-                &self.config,
-            );
+            let (bytes, stats) = compress_dispatch(&prev, newest, &self.maps, &self.config);
             self.compress_time += start.elapsed();
             self.stats.merge(&stats);
             self.blocks.push(bytes);

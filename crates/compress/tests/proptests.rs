@@ -2,6 +2,10 @@
 //! losslessness* for arbitrary values over arbitrary patterns
 //! (masc-testkit).
 
+// Tests may assert with unwrap/expect; the crate's clippy.toml bans them
+// in shipping code only (masc-lint rule R1).
+#![allow(clippy::disallowed_methods)]
+
 use masc_compress::{
     compress_matrix, compress_matrix_parallel, decompress_matrix, decompress_matrix_parallel,
     CompressError, MascConfig, StampMaps, TensorCompressor,

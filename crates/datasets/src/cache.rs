@@ -84,7 +84,8 @@ fn read_f64s(buf: &[u8], pos: &mut usize) -> Result<Vec<f64>, CacheError> {
     *pos = end;
     Ok(bytes
         .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        // chunks_exact yields exactly 8 bytes; the default arm is dead.
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap_or_default()))
         .collect())
 }
 

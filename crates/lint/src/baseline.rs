@@ -1,0 +1,411 @@
+//! Grandfathered-findings baseline.
+//!
+//! `lint-baseline.json` at the workspace root records findings that
+//! predate the analyzer. Policy: the baseline may only shrink. The checker
+//! fails when a finding is *not* in the baseline (new violation) **and**
+//! when a baseline entry no longer matches any finding (stale entry — the
+//! violation was fixed, so the entry must be deleted in the same change).
+//! Exact matching in both directions means the file always mirrors
+//! reality, and every entry carries a mandatory `note` justifying why it
+//! was grandfathered rather than fixed.
+//!
+//! The file is JSON for tooling; since the workspace is hermetic, a
+//! minimal recursive-descent parser for the JSON subset we emit lives
+//! here (objects, arrays, strings with escapes, integers, bools, null).
+
+use crate::diag::{json_escape, Finding, LintError, RuleId};
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Why this entry is grandfathered instead of fixed.
+    pub note: String,
+}
+
+impl BaselineEntry {
+    /// Identity used to match against findings.
+    pub fn key(&self) -> (RuleId, &str, u32) {
+        (self.rule, &self.file, self.line)
+    }
+}
+
+/// Result of checking findings against the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not covered by the baseline: new violations.
+    pub new_findings: Vec<Finding>,
+    /// Baseline entries with no matching finding: must be deleted.
+    pub stale_entries: Vec<BaselineEntry>,
+    /// Count of findings absorbed by the baseline.
+    pub grandfathered: usize,
+}
+
+impl BaselineDiff {
+    /// True when findings and baseline agree exactly.
+    pub fn clean(&self) -> bool {
+        self.new_findings.is_empty() && self.stale_entries.is_empty()
+    }
+}
+
+/// Compares findings against baseline entries (exact two-way match).
+pub fn diff(findings: &[Finding], baseline: &[BaselineEntry]) -> BaselineDiff {
+    let mut out = BaselineDiff::default();
+    for f in findings {
+        if baseline.iter().any(|b| b.key() == f.key()) {
+            out.grandfathered += 1;
+        } else {
+            out.new_findings.push(f.clone());
+        }
+    }
+    for b in baseline {
+        if !findings.iter().any(|f| f.key() == b.key()) {
+            out.stale_entries.push(b.clone());
+        }
+    }
+    out
+}
+
+/// Serializes entries to the checked-in JSON form.
+pub fn to_json(entries: &[BaselineEntry]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"note\": \"{}\"}}{}\n",
+            e.rule,
+            json_escape(&e.file),
+            e.line,
+            json_escape(&e.note),
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the baseline file.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, LintError> {
+    let value = Json::parse(text).map_err(|reason| LintError::Baseline { reason })?;
+    let obj = value.as_object().ok_or_else(|| LintError::Baseline {
+        reason: "top level must be an object".to_string(),
+    })?;
+    let findings = obj
+        .iter()
+        .find(|(k, _)| k == "findings")
+        .map(|(_, v)| v)
+        .ok_or_else(|| LintError::Baseline {
+            reason: "missing `findings` array".to_string(),
+        })?;
+    let items = findings.as_array().ok_or_else(|| LintError::Baseline {
+        reason: "`findings` must be an array".to_string(),
+    })?;
+    let mut entries = Vec::new();
+    for (idx, item) in items.iter().enumerate() {
+        let entry = item.as_object().ok_or_else(|| LintError::Baseline {
+            reason: format!("findings[{idx}] must be an object"),
+        })?;
+        let get_str = |key: &str| -> Result<String, LintError> {
+            entry
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| LintError::Baseline {
+                    reason: format!("findings[{idx}] missing string `{key}`"),
+                })
+        };
+        let rule_name = get_str("rule")?;
+        let rule = RuleId::parse(&rule_name).ok_or_else(|| LintError::Baseline {
+            reason: format!("findings[{idx}]: unknown rule `{rule_name}`"),
+        })?;
+        let line = entry
+            .iter()
+            .find(|(k, _)| k == "line")
+            .and_then(|(_, v)| v.as_u32())
+            .ok_or_else(|| LintError::Baseline {
+                reason: format!("findings[{idx}] missing numeric `line`"),
+            })?;
+        let note = get_str("note")?;
+        if note.trim().is_empty() {
+            return Err(LintError::Baseline {
+                reason: format!(
+                    "findings[{idx}] has an empty note — every grandfathered entry must be justified"
+                ),
+            });
+        }
+        entries.push(BaselineEntry {
+            rule,
+            file: get_str("file")?,
+            line,
+            note,
+        });
+    }
+    Ok(entries)
+}
+
+/// Minimal JSON value for the subset the baseline uses.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u32(&self) -> Option<u32> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && *n <= u32::MAX as f64 && n.fract() == 0.0 => {
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+/// Recursive-descent parser state.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes.get(self.pos..self.pos + word.len()) == Some(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or_default())
+            .map_err(|_| "non-UTF-8 number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number `{text}` at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let c = char::from_u32(code).unwrap_or('\u{FFFD}');
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".to_string()),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+        String::from_utf8(out).map_err(|_| "non-UTF-8 string".to_string())
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let entries = vec![BaselineEntry {
+            rule: RuleId::PanicIndex,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 42,
+            note: "guard is two screens up; refactor tracked".to_string(),
+        }];
+        let json = to_json(&entries);
+        assert_eq!(parse(&json).expect("baseline parses"), entries);
+    }
+
+    #[test]
+    fn empty_note_rejected() {
+        let json = "{\"version\": 1, \"findings\": [{\"rule\": \"panic-call\", \"file\": \"a.rs\", \"line\": 1, \"note\": \" \"}]}";
+        assert!(parse(json).is_err());
+    }
+
+    #[test]
+    fn diff_two_way() {
+        let finding = Finding {
+            rule: RuleId::PanicCall,
+            file: "a.rs".to_string(),
+            line: 3,
+            message: "m".to_string(),
+        };
+        let stale = BaselineEntry {
+            rule: RuleId::PanicCall,
+            file: "a.rs".to_string(),
+            line: 9,
+            note: "n".to_string(),
+        };
+        let d = diff(std::slice::from_ref(&finding), std::slice::from_ref(&stale));
+        assert_eq!(d.new_findings.len(), 1);
+        assert_eq!(d.stale_entries.len(), 1);
+        assert!(!d.clean());
+    }
+}

@@ -1,0 +1,466 @@
+//! A hand-rolled, total Rust lexer.
+//!
+//! The analyzer cannot depend on `syn`/`proc-macro2` (the workspace is
+//! hermetic), so this module tokenizes Rust source directly. It handles the
+//! lexical constructs that defeat naive regex scanning:
+//!
+//! - raw strings `r"…"` / `r#"…"#` with arbitrary hash depth,
+//! - byte strings `b"…"` and raw byte strings `br##"…"##`,
+//! - nested block comments `/* /* */ */`,
+//! - lifetimes `'a` vs char literals `'a'` (including `'\u{…}'` escapes),
+//! - numeric literals with type suffixes, float dots, and signed exponents.
+//!
+//! The lexer is **total**: it never panics and never rejects input. Bytes
+//! it cannot classify become [`TokenKind::Unknown`] tokens, and unterminated
+//! strings or comments extend to end of input. Every byte of the source is
+//! covered by exactly one token or by inter-token whitespace, and lexing a
+//! whitespace-normalized rendering of the token stream reproduces the same
+//! (kind, text) sequence whenever the stream has no unpaired quote (an
+//! unpaired `'` can absorb an inserted separator into a char literal).
+//! Both properties are pinned by the suite in `tests/proptests.rs`.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `MAX_DECODE_WORDS`, …).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Character literal `'a'`, `'\n'`, `'\u{1F600}'` or byte char `b'a'`.
+    Char,
+    /// String literal `"…"` (escape-aware) or byte string `b"…"`.
+    Str,
+    /// Raw (byte) string literal `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStr,
+    /// Numeric literal, including suffixes (`1_000u64`, `0xFF`, `1e-9`).
+    Num,
+    /// Line comment `// …`, `/// …`, or `//! …` (without the newline).
+    LineComment,
+    /// Block comment `/* … */`, nesting-aware; includes `/** … */`.
+    BlockComment,
+    /// A single punctuation byte (`.`, `(`, `<`, `!`, …).
+    Punct,
+    /// A byte sequence the lexer cannot classify (kept so lexing is total).
+    Unknown,
+}
+
+/// One lexed token: class plus byte span and 1-based line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    ///
+    /// Returns `""` rather than panicking if the span is out of bounds or
+    /// splits a UTF-8 sequence, which cannot happen for spans produced by
+    /// [`lex`] on the same source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Tokenizes `src` into a full-fidelity token stream.
+///
+/// Comments are kept as tokens (pragma scanning and doc-coverage need
+/// them); whitespace is dropped. The function is total: any input,
+/// including invalid Rust and arbitrary UTF-8, produces a token list
+/// without panicking.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+/// Internal cursor over the source bytes.
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+/// True for bytes that may start an identifier. Non-ASCII bytes count as
+/// identifier bytes so the lexer stays total on arbitrary UTF-8.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// True for bytes that may continue an identifier.
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    /// Byte at `pos + ahead`, or `None` past end of input.
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances `n` bytes.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.line_comment();
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                b'r' if self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string_body();
+                    self.push(TokenKind::RawStr, start, line);
+                }
+                b'b' => {
+                    match self.peek(1) {
+                        Some(b'"') => {
+                            self.bump();
+                            self.quoted(b'"');
+                            self.push(TokenKind::Str, start, line);
+                        }
+                        Some(b'\'') => {
+                            // Byte char `b'x'` (or, degenerately, `b'a`
+                            // lexing as `b` + lifetime — invalid Rust, but
+                            // the lexer stays total).
+                            self.bump();
+                            let kind = self.quote();
+                            self.push(kind, start, line);
+                        }
+                        Some(b'r') if self.raw_string_ahead(2) => {
+                            self.bump_n(2);
+                            self.raw_string_body();
+                            self.push(TokenKind::RawStr, start, line);
+                        }
+                        _ => {
+                            self.ident();
+                            self.push(TokenKind::Ident, start, line);
+                        }
+                    }
+                }
+                b'"' => {
+                    self.quoted(b'"');
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => {
+                    let kind = self.quote();
+                    self.push(kind, start, line);
+                }
+                _ if is_ident_start(b) => {
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.number(start);
+                    self.push(TokenKind::Num, start, line);
+                }
+                _ if b.is_ascii_punctuation() => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+                _ => {
+                    // Control bytes and stray continuation bytes: consume a
+                    // run so pathological input stays O(tokens).
+                    while let Some(nb) = self.peek(0) {
+                        if nb.is_ascii_graphic()
+                            || nb == b' '
+                            || nb == b'\t'
+                            || nb == b'\r'
+                            || nb == b'\n'
+                            || nb >= 0x80
+                        {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    if self.pos == start {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Unknown, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Consumes `// …` to (not including) the newline.
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a nesting-aware `/* … */`; unterminated runs to EOF.
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Is `r`/`br` at `pos` followed by `#…#"` or `"` (a raw string)?
+    fn raw_string_ahead(&self, mut ahead: usize) -> bool {
+        while self.peek(ahead) == Some(b'#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some(b'"')
+    }
+
+    /// Consumes `#…#"…"#…#` after the introducing `r`; cursor sits on the
+    /// first `#` or the opening quote. Unterminated runs to EOF.
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        // Opening quote (guaranteed by `raw_string_ahead`).
+        self.bump();
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    self.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes an escape-aware quoted literal; cursor sits on the opening
+    /// quote. Unterminated runs to EOF.
+    fn quoted(&mut self, quote: u8) {
+        self.bump();
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+            } else if b == quote {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal);
+    /// cursor sits on the opening `'`.
+    fn quote(&mut self) -> TokenKind {
+        match self.peek(1) {
+            // `'\…'` is always a char literal.
+            Some(b'\\') => {
+                self.quoted(b'\'');
+                TokenKind::Char
+            }
+            Some(b) if is_ident_continue(b) => {
+                // Scan the identifier run after the quote: `'abc'` closes
+                // (char literal, even if invalid Rust), `'abc` does not
+                // (lifetime).
+                let mut ahead = 2usize;
+                while let Some(nb) = self.peek(ahead) {
+                    if !is_ident_continue(nb) {
+                        break;
+                    }
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'\'') {
+                    self.bump_n(ahead + 1);
+                    TokenKind::Char
+                } else {
+                    self.bump_n(ahead);
+                    TokenKind::Lifetime
+                }
+            }
+            // `'+'`, `' '`, `'('`… — a single non-ident char then a quote.
+            Some(_) if self.peek(2) == Some(b'\'') => {
+                self.bump_n(3);
+                TokenKind::Char
+            }
+            // Stray quote (`''`, `'` at EOF, `'+x`): lone Unknown byte.
+            _ => {
+                self.bump();
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    /// Consumes an identifier run.
+    fn ident(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if !is_ident_continue(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a numeric literal: digits, `_`, radix prefixes, suffixes,
+    /// a float dot (only when followed by a digit, so `1..2` stays a
+    /// range), and signed exponents `1e-9`. `start` is the literal's first
+    /// byte, used to tell radix-prefixed literals (`0xFF`) — whose `e`/`.`
+    /// never extend the token — from decimal ones.
+    fn number(&mut self, start: usize) {
+        let decimal = !matches!(
+            (self.src.get(start), self.src.get(start + 1)),
+            (Some(b'0'), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+        );
+        let mut prev_exp = false;
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                prev_exp = (b == b'e' || b == b'E') && decimal;
+                self.bump();
+            } else if ((b == b'.' && decimal) || ((b == b'+' || b == b'-') && prev_exp))
+                && self.peek(1).map(|n| n.is_ascii_digit()).unwrap_or(false)
+            {
+                prev_exp = false;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = r####"let s = r#"a "quoted" b"#; let t = r"x";"####;
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::RawStr, r###"r#"a "quoted" b"#"###)));
+        assert!(toks.contains(&(TokenKind::RawStr, r#"r"x""#)));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "/* outer /* inner */ still */");
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn byte_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b = br#"raw"#; let c = b'x';"##);
+        assert!(toks.contains(&(TokenKind::Str, r#"b"bytes""#)));
+        assert!(toks.contains(&(TokenKind::RawStr, r##"br#"raw"#"##)));
+        assert!(toks.contains(&(TokenKind::Char, "b'x'")));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = kinds("1_000u64 0xFF_u8 1.5e-9 1..2 3.f64");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| *t)
+            .collect();
+        // `3.f64` is a method-call-like form: `3` then `.` then `f64`.
+        assert_eq!(nums, vec!["1_000u64", "0xFF_u8", "1.5e-9", "1", "2", "3"]);
+    }
+
+    #[test]
+    fn line_numbers_and_totality() {
+        let src = "a\nb\n\"multi\nline\"\nc";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[3].line, 5);
+        // Totality on garbage.
+        let _ = lex("\u{0}\u{1}'''''r#\"unterminated");
+    }
+}

@@ -1,0 +1,229 @@
+//! `masc-lint` command-line interface.
+//!
+//! ```text
+//! masc-lint [--root DIR] [--manifest FILE] [--baseline FILE]
+//!           [--format human|json] [--write-baseline] [--no-baseline]
+//!           [--list-pragmas]
+//! ```
+//!
+//! Default mode lints the workspace and checks findings against the
+//! baseline: exit 0 when findings and baseline agree exactly, exit 1 on
+//! any new finding *or* stale baseline entry (the baseline may only
+//! shrink), exit 2 on usage or I/O errors.
+
+use masc_lint::baseline::{self, BaselineEntry};
+use masc_lint::diag::{findings_to_json, json_escape, LintError};
+use masc_lint::{find_root, run, Manifest};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Parsed command line.
+struct Options {
+    root: Option<PathBuf>,
+    manifest: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+    no_baseline: bool,
+    list_pragmas: bool,
+}
+
+fn parse_args() -> Result<Options, LintError> {
+    let mut opts = Options {
+        root: None,
+        manifest: None,
+        baseline: None,
+        json: false,
+        write_baseline: false,
+        no_baseline: false,
+        list_pragmas: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let path_arg = |args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| LintError::Usage(format!("{arg} requires a value")))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = Some(path_arg(&mut args)?),
+            "--manifest" => opts.manifest = Some(path_arg(&mut args)?),
+            "--baseline" => opts.baseline = Some(path_arg(&mut args)?),
+            "--format" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--format requires a value".to_string()))?;
+                match v.as_str() {
+                    "json" => opts.json = true,
+                    "human" => opts.json = false,
+                    other => {
+                        return Err(LintError::Usage(format!(
+                            "unknown format `{other}` (expected human or json)"
+                        )))
+                    }
+                }
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--no-baseline" => opts.no_baseline = true,
+            "--list-pragmas" => opts.list_pragmas = true,
+            "--help" | "-h" => {
+                println!(
+                    "masc-lint: MASC workspace static analyzer\n\n\
+                     USAGE: masc-lint [--root DIR] [--manifest FILE] [--baseline FILE]\n\
+                    \x20                [--format human|json] [--write-baseline] [--no-baseline]\n\
+                    \x20                [--list-pragmas]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(LintError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    match run_cli() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("masc-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_cli() -> Result<bool, LintError> {
+    let opts = parse_args()?;
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|source| LintError::Io {
+                path: ".".to_string(),
+                source,
+            })?;
+            find_root(&cwd).ok_or_else(|| {
+                LintError::Usage("no workspace root found above cwd; pass --root".to_string())
+            })?
+        }
+    };
+    let manifest_path = opts
+        .manifest
+        .clone()
+        .unwrap_or_else(|| root.join("lint-manifest.txt"));
+    let manifest_text =
+        std::fs::read_to_string(&manifest_path).map_err(|source| LintError::Io {
+            path: manifest_path.display().to_string(),
+            source,
+        })?;
+    let manifest = Manifest::parse(&manifest_text)?;
+    let report = run(&root, &manifest)?;
+
+    if opts.list_pragmas {
+        for (file, p) in &report.pragmas {
+            println!(
+                "{}:{}: allow({}) applies to line {}: {}",
+                file, p.comment_line, p.rule_name, p.applies_line, p.reason
+            );
+        }
+        return Ok(true);
+    }
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    if opts.write_baseline {
+        // Preserve notes from the existing baseline where keys still match.
+        let old = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => baseline::parse(&text)?,
+            Err(_) => Vec::new(),
+        };
+        let entries: Vec<BaselineEntry> = report
+            .findings
+            .iter()
+            .map(|f| {
+                let note = old
+                    .iter()
+                    .find(|b| b.key() == f.key())
+                    .map(|b| b.note.clone())
+                    .unwrap_or_else(|| "TODO: justify or fix".to_string());
+                BaselineEntry {
+                    rule: f.rule,
+                    file: f.file.clone(),
+                    line: f.line,
+                    note,
+                }
+            })
+            .collect();
+        std::fs::write(&baseline_path, baseline::to_json(&entries)).map_err(|source| {
+            LintError::Io {
+                path: baseline_path.display().to_string(),
+                source,
+            }
+        })?;
+        eprintln!(
+            "masc-lint: wrote {} entries to {}",
+            entries.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline_entries = if opts.no_baseline {
+        Vec::new()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => baseline::parse(&text)?,
+            // Missing baseline means an empty one.
+            Err(_) => Vec::new(),
+        }
+    };
+    let diff = baseline::diff(&report.findings, &baseline_entries);
+
+    if opts.json {
+        println!("{{");
+        println!("  \"files\": {},", report.files);
+        println!("  \"grandfathered\": {},", diff.grandfathered);
+        println!("  \"findings\": {},", findings_to_json(&diff.new_findings));
+        let stale: Vec<String> = diff
+            .stale_entries
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                    b.rule,
+                    json_escape(&b.file),
+                    b.line
+                )
+            })
+            .collect();
+        println!("  \"stale_baseline\": [{}]", stale.join(", "));
+        println!("}}");
+    } else {
+        for f in &diff.new_findings {
+            println!("{f}");
+        }
+        for b in &diff.stale_entries {
+            println!(
+                "{}:{}: stale-baseline: `{}` entry no longer matches any finding; \
+                 delete it (the baseline may only shrink)",
+                b.file, b.line, b.rule
+            );
+        }
+        eprintln!(
+            "masc-lint: {} files, {} findings ({} grandfathered), {} new, {} stale baseline",
+            report.files,
+            report.findings.len(),
+            diff.grandfathered,
+            diff.new_findings.len(),
+            diff.stale_entries.len()
+        );
+    }
+    Ok(diff.clean())
+}

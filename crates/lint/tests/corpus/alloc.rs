@@ -1,0 +1,85 @@
+// lint-corpus: wire-decode
+// R2 unbounded-alloc: decoded sizes reach the allocator only via a guard.
+
+const MAX_ITEMS: usize = 1 << 20;
+const FIXED_SLOTS: usize = 256;
+
+fn unguarded_capacity(claimed: usize) -> Vec<u8> {
+    let n = claimed;
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    // Sixteen guard-free lines above the allocation site.
+    Vec::with_capacity(n) //~ unbounded-alloc
+}
+
+fn unguarded_vec_macro(claimed: usize) -> Vec<u64> {
+    let n = claimed;
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    // Sixteen guard-free lines above the allocation site.
+    vec![0u64; n] //~ unbounded-alloc
+}
+
+fn unguarded_resize(claimed: usize, out: &mut Vec<u8>) {
+    let n = claimed;
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    // Sixteen guard-free lines above the allocation site.
+    out.resize(n, 0); //~ unbounded-alloc
+}
+
+fn guarded_by_max(claimed: usize) -> Option<Vec<u8>> {
+    if claimed > MAX_ITEMS {
+        return None;
+    }
+    Some(Vec::with_capacity(claimed))
+}
+
+fn guarded_by_min_clamp(claimed: usize) -> Vec<u8> {
+    Vec::with_capacity(claimed.min(4096))
+}
+
+fn sized_from_held_data(input: &[u8]) -> Vec<u8> {
+    // `input.len()` derives from data already in memory.
+    Vec::with_capacity(input.len())
+}
+
+fn const_sized_tables() -> Vec<u32> {
+    // SCREAMING_CASE sizes are constants, not decoded claims.
+    vec![0u32; FIXED_SLOTS]
+}
+
+fn literal_vecs() -> Vec<u8> {
+    // Element-list form allocates a fixed literal; no size expression.
+    vec![1, 2, 3]
+}

@@ -1,0 +1,41 @@
+// lint-corpus: lib
+// R5: public items in library code need docs.
+
+pub fn undocumented_fn() -> u8 { //~ doc-missing
+    0
+}
+
+pub struct UndocumentedStruct; //~ doc-missing
+
+pub const UNDOCUMENTED_CONST: u8 = 3; //~ doc-missing
+
+/// Documented the usual way.
+pub fn documented_fn() -> u8 {
+    1
+}
+
+#[doc = "Documented via an explicit attribute."]
+pub struct AttrDocumented;
+
+/// Attributes between the doc comment and the item are fine.
+#[derive(Debug)]
+pub struct DocThenAttr;
+
+// A plain comment is transparent: the doc comment above it still counts.
+/// Documented despite the pragma-style comment in between.
+// some unrelated note
+pub fn doc_above_plain_comment() -> u8 {
+    2
+}
+
+// Non-public items need no docs.
+pub(crate) fn crate_visible() -> u8 {
+    4
+}
+
+fn private_helper() -> u8 {
+    5
+}
+
+// `pub mod name;` is exempt: the module file documents itself via `//!`.
+pub mod helpers;

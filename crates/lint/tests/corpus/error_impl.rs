@@ -1,0 +1,40 @@
+// lint-corpus: lib
+// R3 (impl half): `pub enum *Error` must implement Display and Error.
+
+/// Declares an error type but implements neither trait.
+pub enum BareDemoError { //~ error-impl
+    /// Placeholder variant.
+    Broken,
+}
+
+/// Implements Display but not `std::error::Error`.
+pub enum HalfDemoError { //~ error-impl
+    /// Placeholder variant.
+    Partial,
+}
+
+impl std::fmt::Display for HalfDemoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("partial")
+    }
+}
+
+/// Fully compliant error type.
+pub enum CoveredDemoError {
+    /// Placeholder variant.
+    Covered,
+}
+
+impl std::fmt::Display for CoveredDemoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("covered")
+    }
+}
+
+impl std::error::Error for CoveredDemoError {}
+
+/// Not an error type: the `*Error` suffix is what opts an enum in.
+pub enum DemoOutcome {
+    /// Placeholder variant.
+    Done,
+}

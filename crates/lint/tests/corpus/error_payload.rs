@@ -1,0 +1,61 @@
+// lint-corpus: lib
+// R3 (payload half): public fallible APIs return structured error types.
+
+/// Structured error used by the compliant functions below.
+pub enum PayloadDemoError {
+    /// The input ended early.
+    Truncated,
+}
+
+impl std::fmt::Display for PayloadDemoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("truncated")
+    }
+}
+
+impl std::error::Error for PayloadDemoError {}
+
+/// Fails with a bare `String`.
+pub fn stringly(x: u8) -> Result<u8, String> { //~ error-payload
+    Err(format!("bad {x}"))
+}
+
+/// Fails with a type-erased box.
+pub fn boxed(x: u8) -> Result<u8, Box<dyn std::error::Error>> { //~ error-payload
+    Ok(x)
+}
+
+/// Fails with a static string slice.
+pub fn strref(x: u8) -> Result<u8, &'static str> { //~ error-payload
+    Err(if x == 0 { "zero" } else { "nonzero" })
+}
+
+/// Fails with the unit type — callers learn nothing.
+pub fn unit_err(x: u8) -> Result<u8, ()> { //~ error-payload
+    if x > 7 {
+        return Err(());
+    }
+    Ok(x)
+}
+
+/// Compliant: a crate-local structured error type.
+pub fn structured(x: u8) -> Result<u8, PayloadDemoError> {
+    if x == 0 {
+        return Err(PayloadDemoError::Truncated);
+    }
+    Ok(x)
+}
+
+/// Infallible public API — no payload to police.
+pub fn infallible(x: u8) -> u8 {
+    x
+}
+
+// Private and crate-visible functions are not public API surface.
+fn private_stringly(x: u8) -> Result<u8, String> {
+    Err(format!("internal {x}"))
+}
+
+pub(crate) fn crate_stringly(x: u8) -> Result<u8, String> {
+    private_stringly(x)
+}

@@ -1,0 +1,23 @@
+// lint-corpus: wire-decode
+// R1 panic-call: `.unwrap()` / `.expect(…)` in a hardened module.
+
+fn decode_header(bytes: &[u8]) -> (u8, u8) {
+    let first = bytes.first().unwrap(); //~ panic-call
+    let second = bytes.get(1).expect("second byte"); //~ panic-call
+    (*first, *second)
+}
+
+fn unwrap_like_names_are_fine(x: Option<u8>) -> u8 {
+    // Only the exact methods fire; total cousins do not.
+    x.unwrap_or_default();
+    x.unwrap_or(7);
+    x.unwrap_or_else(|| 9)
+}
+
+struct Unwrap;
+impl Unwrap {
+    fn expect_field(&self) -> u8 {
+        // `unwrap`/`expect` as path or name (no preceding `.`) are not calls.
+        0
+    }
+}

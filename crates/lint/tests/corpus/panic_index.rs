@@ -1,0 +1,50 @@
+// lint-corpus: wire-decode
+// R1 panic-index: index expressions need a bounds guard within the window.
+
+fn unguarded(bytes: &[u8]) -> u8 {
+    let a = 1usize;
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    //
+    // Sixteen guard-free lines above: nothing establishes a bound.
+    bytes[a] //~ panic-index
+}
+
+fn guarded_by_check(bytes: &[u8], i: usize) -> u8 {
+    if i >= bytes.len() {
+        return 0;
+    }
+    bytes[i]
+}
+
+fn guarded_by_loop(bytes: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    for i in 0..bytes.len() {
+        sum += u32::from(bytes[i]);
+    }
+    sum
+}
+
+fn guarded_by_assert(bytes: &[u8], i: usize) -> u8 {
+    debug_assert!(i + 1 < bytes.len(), "caller contract");
+    bytes[i + 1]
+}
+
+fn full_range_never_panics(bytes: &[u8]) -> &[u8] {
+    let borrowed = &bytes[..];
+    borrowed
+}
+
+fn type_position_brackets(_bytes: &[u8]) -> [u8; 4] {
+    // `[u8; 4]` after `->` and in `let` position are types, not indexing.
+    let out: [u8; 4] = [0, 1, 2, 3];
+    out
+}

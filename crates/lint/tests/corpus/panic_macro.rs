@@ -1,0 +1,22 @@
+// lint-corpus: wire-decode
+// R1 panic-macro: aborting macros in a hardened module.
+
+fn dispatch(tag: u8) -> u8 {
+    match tag {
+        0 => 10,
+        1 => panic!("bad tag"),        //~ panic-macro
+        2 => unreachable!("filtered"), //~ panic-macro
+        3 => todo!(),                  //~ panic-macro
+        4 => unimplemented!(),         //~ panic-macro
+        _ => 0,
+    }
+}
+
+fn panic_free(tag: u8) -> Result<u8, u8> {
+    // Mentioning panic in a string or ident is not a macro invocation.
+    let no_panic_here = tag;
+    if no_panic_here > 4 {
+        return Err(no_panic_here);
+    }
+    Ok(no_panic_here)
+}

@@ -1,0 +1,56 @@
+// lint-corpus: wire-decode
+// Pragma handling: suppression, mandatory reasons, staleness policing.
+// The caret marker form (pointing at the previous line) is used here
+// because a trailing marker would become part of the pragma comment.
+
+fn suppressed_trailing(x: Option<u8>) -> u8 {
+    x.unwrap() // masc-lint: allow(panic-call, reason = "corpus: trailing pragma covers its own line")
+}
+
+fn suppressed_standalone(x: Option<u8>) -> u8 {
+    // masc-lint: allow(panic-call, reason = "corpus: standalone pragma covers the next code line")
+    x.unwrap()
+}
+
+fn suppressed_by_group(x: Option<u8>) -> u8 {
+    // masc-lint: allow(R1, reason = "corpus: a group name expands to all of its rules")
+    x.unwrap()
+}
+
+fn suppressed_macro(tag: u8) -> u8 {
+    match tag {
+        0 => 1,
+        1 => panic!("boom"), // masc-lint: allow(panic-macro, reason = "corpus: suppressed macro")
+        _ => 0,
+    }
+}
+
+fn missing_reason(x: u8) -> u8 {
+    // masc-lint: allow(panic-call)
+    //~^ pragma-syntax
+    x
+}
+
+fn unknown_rule(x: u8) -> u8 {
+    // masc-lint: allow(no-such-rule, reason = "not a rule the analyzer knows")
+    //~^ pragma-syntax
+    x
+}
+
+fn unsuppressible_rule(x: u8) -> u8 {
+    // masc-lint: allow(pragma-unused, reason = "the policing rules cannot be silenced")
+    //~^ pragma-syntax
+    x
+}
+
+fn stale_pragma(x: u8) -> u8 {
+    // masc-lint: allow(panic-macro, reason = "nothing on the next line to suppress")
+    //~^ pragma-unused
+    x
+}
+
+fn wrong_rule_pragma(x: Option<u8>) -> u8 {
+    // masc-lint: allow(panic-macro, reason = "names the wrong rule for the call below")
+    //~^ pragma-unused
+    x.unwrap() //~ panic-call
+}

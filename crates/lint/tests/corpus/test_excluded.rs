@@ -1,0 +1,40 @@
+// lint-corpus: wire-decode
+// Test items and macro bodies are outside the lint's jurisdiction: the
+// invariants govern shipping decode paths, not assertions about them.
+
+fn shipping_code(x: Option<u8>) -> Option<u8> {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_freely() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(*v.first().unwrap(), 1);
+        let claimed = 3usize;
+        let big = Vec::<u8>::with_capacity(claimed);
+        assert!(big.capacity() >= claimed);
+        if v[0] != 1 {
+            panic!("corpus");
+        }
+    }
+}
+
+#[test]
+fn bare_test_item_is_excluded() {
+    let w: Vec<u8> = Vec::new();
+    w.first().expect("empty");
+}
+
+macro_rules! decode_field {
+    ($bytes:expr, $idx:expr) => {
+        $bytes.get($idx).unwrap()
+    };
+}
+
+fn uses_the_macro(bytes: &[u8]) -> Option<&u8> {
+    // The invocation site is linted (nothing risky here); only the
+    // macro's definition body was excluded.
+    bytes.first()
+}

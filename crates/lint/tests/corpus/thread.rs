@@ -1,0 +1,15 @@
+// lint-corpus:
+// R4: a spawn with no join-on-drop owner anywhere in this file.
+
+fn fire_and_forget() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {}) //~ thread-spawn
+}
+
+fn not_a_thread_spawn() {
+    // Other `spawn` idents do not fire: only the `thread::spawn` path does.
+    struct Pool;
+    impl Pool {
+        fn spawn(&self) {}
+    }
+    Pool.spawn();
+}

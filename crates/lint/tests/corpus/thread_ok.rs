@@ -1,0 +1,20 @@
+// lint-corpus:
+// R4: a Drop impl that joins its handle licenses spawns in this file.
+
+struct Owner {
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Owner {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn spawn_owned() -> Owner {
+    Owner {
+        handle: Some(std::thread::spawn(|| {})),
+    }
+}

@@ -56,7 +56,7 @@ impl Pattern {
                 "row_ptr length must be rows + 1",
             ));
         }
-        if row_ptr[0] != 0 || *row_ptr.last().expect("non-empty") != col_idx.len() {
+        if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&col_idx.len()) {
             return Err(SparseError::InvalidPattern(
                 "row_ptr endpoints inconsistent",
             ));
@@ -250,12 +250,15 @@ impl Pattern {
     pub fn from_compressed_bytes(bytes: &[u8]) -> Result<Self, SparseError> {
         let truncated = SparseError::InvalidPattern("truncated pattern bytes");
         let mut pos = 0usize;
-        let (rows, used) = varint::read_u64(&bytes[pos..]).map_err(|_| truncated.clone())?;
-        pos += used;
-        let (cols, used) = varint::read_u64(&bytes[pos..]).map_err(|_| truncated.clone())?;
-        pos += used;
-        let (rp_len, used) = varint::read_u64(&bytes[pos..]).map_err(|_| truncated.clone())?;
-        pos += used;
+        let take = |pos: &mut usize| -> Result<u64, SparseError> {
+            let rest = bytes.get(*pos..).ok_or_else(|| truncated.clone())?;
+            let (v, used) = varint::read_u64(rest).map_err(|_| truncated.clone())?;
+            *pos += used;
+            Ok(v)
+        };
+        let rows = take(&mut pos)?;
+        let cols = take(&mut pos)?;
+        let rp_len = take(&mut pos)?;
         let rp_end = pos
             .checked_add(rp_len as usize)
             .ok_or_else(|| truncated.clone())?;

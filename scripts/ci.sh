@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Hermetic CI gate: format, build (including bench targets) and test the
-# whole workspace with the network forbidden. Exits nonzero on the first
-# failure.
+# Hermetic CI gate: format, lint (clippy + masc-lint), build (including
+# bench targets) and test the whole workspace with the network forbidden.
+# Exits nonzero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +14,8 @@ run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --release --offline --workspace --benches
 run env RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+run cargo run -q --offline --release -p masc-lint
+run cargo test -q --offline -p masc-lint
 run cargo test -q --offline --workspace
 run cargo run -q --offline --release -p masc-conform -- --budget 30 --seed 4
 
