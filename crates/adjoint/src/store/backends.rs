@@ -3,7 +3,8 @@
 //! in-memory compression — the bars of the paper's Fig. 7.
 
 use super::{
-    throttle, BackwardReader, JacobianStore, RawSeries, StepMatrices, StoreError, StoreMetrics,
+    throttle, BackwardReader, EncodePlan, EncodedBlock, JacobianStore, RawSeries, StepMatrices,
+    StoreError, StoreMetrics, TensorEncodePlan,
 };
 use masc_compress::{BackwardDecompressor, MascConfig, TensorCompressor};
 use masc_sparse::Pattern;
@@ -534,6 +535,31 @@ impl JacobianStore for CompressedStore {
     fn put(&mut self, _step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError> {
         self.g.push(g);
         self.c.push(c);
+        self.account_sealed();
+        Ok(())
+    }
+
+    fn encode_plan(&self) -> Option<EncodePlan> {
+        Some(EncodePlan {
+            g: TensorEncodePlan {
+                maps: self.g.maps().clone(),
+                config: self.g.config(),
+            },
+            c: TensorEncodePlan {
+                maps: self.c.maps().clone(),
+                config: self.c.config(),
+            },
+        })
+    }
+
+    fn put_encoded(
+        &mut self,
+        _step: usize,
+        g: EncodedBlock,
+        c: EncodedBlock,
+    ) -> Result<(), StoreError> {
+        self.g.push_encoded(g.bytes, &g.stats);
+        self.c.push_encoded(c.bytes, &c.stats);
         self.account_sealed();
         Ok(())
     }

@@ -11,7 +11,10 @@
 //! *last* — reads overlap the early reverse-pass compute.
 
 use super::backends::SpillFile;
-use super::{throttle, BackwardReader, JacobianStore, StepMatrices, StoreError, StoreMetrics};
+use super::{
+    throttle, BackwardReader, EncodePlan, EncodedBlock, JacobianStore, StepMatrices, StoreError,
+    StoreMetrics, TensorEncodePlan,
+};
 use masc_compress::{BackwardDecompressor, MascConfig, TensorCompressor};
 use masc_sparse::Pattern;
 use std::io::{Read, Seek, SeekFrom};
@@ -143,6 +146,31 @@ impl JacobianStore for HybridStore {
     fn put(&mut self, _step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError> {
         self.g.push(g);
         self.c.push(c);
+        self.account_sealed();
+        self.spill_excess()
+    }
+
+    fn encode_plan(&self) -> Option<EncodePlan> {
+        Some(EncodePlan {
+            g: TensorEncodePlan {
+                maps: self.g.maps().clone(),
+                config: self.g.config(),
+            },
+            c: TensorEncodePlan {
+                maps: self.c.maps().clone(),
+                config: self.c.config(),
+            },
+        })
+    }
+
+    fn put_encoded(
+        &mut self,
+        _step: usize,
+        g: EncodedBlock,
+        c: EncodedBlock,
+    ) -> Result<(), StoreError> {
+        self.g.push_encoded(g.bytes, &g.stats);
+        self.c.push_encoded(c.bytes, &c.stats);
         self.account_sealed();
         self.spill_excess()
     }

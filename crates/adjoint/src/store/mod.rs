@@ -86,6 +86,13 @@ pub enum StoreConfig {
         queue_depth: usize,
         /// Reverse-pass prefetch window, in decoded steps.
         lookahead: usize,
+        /// Encode worker threads. `1` is the classic single-worker
+        /// pipeline; `> 1` runs a worker pool over the wrapped store's
+        /// [`JacobianStore::encode_plan`] (blocks are encoded concurrently
+        /// and committed in step order, so the stored bytes stay identical
+        /// to the synchronous path). Stores without an encode plan fall
+        /// back to the single worker.
+        workers: usize,
     },
 }
 
@@ -107,6 +114,19 @@ impl StoreConfig {
             inner: Box::new(inner),
             queue_depth: 2,
             lookahead: 2,
+            workers: 1,
+        }
+    }
+
+    /// Wraps `inner` in the asynchronous pipeline with a pool of `workers`
+    /// encode threads (the queue grows with the pool so every worker can
+    /// hold a job).
+    pub fn pipelined_pool(inner: StoreConfig, workers: usize) -> Self {
+        StoreConfig::Pipelined {
+            inner: Box::new(inner),
+            queue_depth: workers.max(1) + 1,
+            lookahead: 2,
+            workers,
         }
     }
 
@@ -150,10 +170,12 @@ impl StoreConfig {
                 inner,
                 queue_depth,
                 lookahead,
-            } => Box::new(PipelinedStore::spawn(
+                workers,
+            } => Box::new(PipelinedStore::spawn_pool(
                 inner.build(layout)?,
                 *queue_depth,
                 *lookahead,
+                *workers,
             )),
         })
     }
@@ -276,6 +298,56 @@ pub(crate) fn throttle(bytes: usize, bandwidth: Option<f64>, elapsed: Duration) 
     }
 }
 
+/// Everything a pipeline worker needs to encode one tensor's blocks
+/// outside the store: the shared stamp maps and the codec configuration
+/// (including its `seed_interval` schedule).
+#[derive(Debug, Clone)]
+pub struct TensorEncodePlan {
+    /// Shared stamp maps over the tensor's pattern.
+    pub maps: Arc<masc_compress::StampMaps>,
+    /// Codec configuration the store would use internally.
+    pub config: MascConfig,
+}
+
+impl TensorEncodePlan {
+    /// Encodes block `step` (`values` against `reference`, or as a seed
+    /// block when the config's seed schedule says so).
+    pub fn encode(&self, step: usize, values: &[f64], reference: &[f64]) -> EncodedBlock {
+        let (bytes, stats) = if self.config.is_seed_step(step) {
+            masc_compress::encode_seed_block(values, &self.maps, &self.config)
+        } else {
+            masc_compress::encode_block(values, reference, &self.maps, &self.config)
+        };
+        EncodedBlock { bytes, stats }
+    }
+
+    /// Encodes block `step` as the tensor's final seed block (what the
+    /// store's internal `seal` would produce).
+    pub fn encode_seed(&self, values: &[f64]) -> EncodedBlock {
+        let (bytes, stats) = masc_compress::encode_seed_block(values, &self.maps, &self.config);
+        EncodedBlock { bytes, stats }
+    }
+}
+
+/// A store's offer to have block encoding done by an external worker pool
+/// (see [`JacobianStore::encode_plan`]).
+#[derive(Debug, Clone)]
+pub struct EncodePlan {
+    /// Plan for the `G` tensor.
+    pub g: TensorEncodePlan,
+    /// Plan for the `C` tensor.
+    pub c: TensorEncodePlan,
+}
+
+/// One tensor block encoded out-of-band, with its encoder statistics.
+#[derive(Debug, Clone)]
+pub struct EncodedBlock {
+    /// The compressed stream.
+    pub bytes: Vec<u8>,
+    /// Statistics from encoding this block.
+    pub stats: masc_compress::CompressStats,
+}
+
 /// One reverse-order step's matrices, or a request to recompute them.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StepMatrices {
@@ -317,6 +389,36 @@ pub trait JacobianStore: std::fmt::Debug + Send {
     ///
     /// Returns [`StoreError`] when the step cannot be persisted.
     fn put(&mut self, step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError>;
+
+    /// A plan for encoding blocks *outside* the store, or `None` (the
+    /// default) when the store only encodes internally in [`put`](Self::put).
+    /// A store that returns a plan promises that feeding it blocks through
+    /// [`put_encoded`](Self::put_encoded) — encoded per the plan, committed
+    /// in step order, with the final step as a seed block — produces the
+    /// same stored bytes as the equivalent `put` sequence.
+    fn encode_plan(&self) -> Option<EncodePlan> {
+        None
+    }
+
+    /// Accepts block `step` pre-encoded by an external worker following
+    /// [`encode_plan`](Self::encode_plan). Blocks must arrive in step
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the block cannot be persisted; the
+    /// default (for stores without an encode plan) always errors.
+    fn put_encoded(
+        &mut self,
+        step: usize,
+        g: EncodedBlock,
+        c: EncodedBlock,
+    ) -> Result<(), StoreError> {
+        let _ = (step, g, c);
+        Err(StoreError::Io(std::io::Error::other(
+            "store does not accept externally encoded blocks",
+        )))
+    }
 
     /// Blocks until every step accepted so far is durably persisted.
     /// Synchronous backends are always caught up; the pipelined adapter

@@ -2,20 +2,29 @@
 //! reverse-pass counterpart).
 //!
 //! [`PipelinedStore`] wraps any synchronous [`JacobianStore`] and moves
-//! compression + spill I/O onto a dedicated worker thread, fed through a
-//! *bounded* channel: while the Newton solver works on step `n + 1`, the
-//! worker compresses and writes step `n`. The channel bound is the
-//! backpressure policy — when the worker falls behind, `put` blocks
-//! instead of buffering unboundedly, so the raw-matrix footprint stays at
-//! `queue_depth` steps no matter how slow the disk is.
+//! compression + spill I/O off the solver thread, fed through a *bounded*
+//! channel: while the Newton solver works on step `n + 1`, the store
+//! persists step `n`. The channel bound is the backpressure policy — when
+//! the store falls behind, `put` blocks instead of buffering unboundedly,
+//! so the raw-matrix footprint stays bounded no matter how slow the disk
+//! is.
 //!
-//! The worker is intentionally a *single* thread: MASC's block chain
-//! compresses `M_{t−1}` against `M_t` (paper Algorithm 2), so blocks must
-//! be encoded in step order to keep the stream byte-identical to the
-//! synchronous path. Parallelism inside one matrix still applies — the
-//! wrapped backend uses `compress_matrix_parallel`'s chunk layout when
-//! `MascConfig::threads > 1` — the pipeline only adds *overlap* between
-//! the solver and the store, never a reordering.
+//! Two engines implement the forward side:
+//!
+//! - **Single worker** (the default, and the fallback for stores without
+//!   an [`encode_plan`](JacobianStore::encode_plan)): one thread calls the
+//!   wrapped store's `put` in step order. This is the only correct shape
+//!   for stores whose `put` is order-sensitive *and* not splittable
+//!   (e.g. the raw disk stream).
+//!
+//! - **Worker pool** (`workers > 1` over a store with an encode plan):
+//!   since MASC encodes block `t` from the *raw* values of steps `t` and
+//!   `t + 1` — never from codec state of other blocks — blocks can be
+//!   compressed concurrently and committed in step order. N workers pull
+//!   encode jobs from a shared queue; a committer thread reorders the
+//!   results by step and feeds them to the wrapped store's
+//!   [`put_encoded`](JacobianStore::put_encoded). The stored bytes are
+//!   identical to the synchronous path for every worker count.
 //!
 //! On the reverse pass, [`PrefetchReader`] runs the wrapped
 //! [`BackwardReader`] on its own thread and decodes block `t − 1` while
@@ -25,21 +34,24 @@
 //! `prefetch_misses` and `prefetch_wait`.
 //!
 //! Worker failures never panic and are never dropped: the first error is
-//! parked in a shared slot, the worker exits (disconnecting the channel),
-//! and the next `put`/`sync`/`finish` surfaces it as
+//! parked in a shared slot, the failing thread exits (disconnecting its
+//! channel), and the next `put`/`sync`/`finish` surfaces it as
 //! [`StoreError::Worker`] carrying the step whose persist actually
 //! failed. `ForwardRecord`'s `on_finish` hook drains the queue at the end
 //! of the transient, so even an error on the very last queued step aborts
 //! the run as `TranError::Sink`.
 
-use super::{BackwardReader, JacobianStore, StepMatrices, StoreError, StoreMetrics};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use super::{
+    BackwardReader, EncodePlan, EncodedBlock, JacobianStore, StepMatrices, StoreError, StoreMetrics,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// One unit of forward-pass work for the pipeline worker.
+/// One unit of forward-pass work for the single pipeline worker.
 enum Job {
     /// Persist one step's compact value arrays.
     Put {
@@ -51,15 +63,17 @@ enum Job {
     Sync(mpsc::Sender<()>),
 }
 
-/// State shared between the forward loop and the pipeline worker.
+/// State shared between the forward loop and the pipeline threads.
 #[derive(Debug, Default)]
 struct Shared {
     /// The wrapped store's `resident_bytes`, republished after each job.
     inner_resident: AtomicUsize,
     /// Raw payload bytes currently queued (accepted but not yet persisted).
     queued_bytes: AtomicUsize,
-    /// Jobs currently in flight (queued or being persisted).
+    /// Jobs currently in flight (queued, encoding, or being committed).
     queued_jobs: AtomicUsize,
+    /// Wall nanoseconds the pool's workers spent encoding.
+    encode_nanos: AtomicU64,
     /// First worker failure: the failing step and its error.
     error: Mutex<Option<(usize, StoreError)>>,
 }
@@ -70,6 +84,15 @@ fn lock_error(shared: &Shared) -> std::sync::MutexGuard<'_, Option<(usize, Store
     match shared.error.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Parks the first failure; later failures are dropped (the first is the
+/// one the producer surfaces).
+fn park_error(shared: &Shared, step: usize, e: StoreError) {
+    let mut slot = lock_error(shared);
+    if slot.is_none() {
+        *slot = Some((step, e));
     }
 }
 
@@ -95,10 +118,7 @@ fn run_worker(
                 shared.queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
                 shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
                 if let Err(e) = result {
-                    let mut slot = lock_error(shared);
-                    if slot.is_none() {
-                        *slot = Some((step, e));
-                    }
+                    park_error(shared, step, e);
                     // Exiting drops `rx`, so the producer's next send
                     // fails fast instead of filling a dead queue.
                     break;
@@ -112,16 +132,167 @@ fn run_worker(
     store
 }
 
+// ---------------------------------------------------------------------------
+// Worker pool (encode_plan stores)
+// ---------------------------------------------------------------------------
+
+/// A step's G/C value arrays, shared between the pinned previous step and
+/// in-flight encode jobs.
+type StepValues = (Arc<Vec<f64>>, Arc<Vec<f64>>);
+
+/// One block's raw ingredients for a pool worker: the values to encode and
+/// the successor step's values as temporal reference (`None` = encode as
+/// the tensor-final seed block).
+struct EncodeJob {
+    step: usize,
+    g_values: Arc<Vec<f64>>,
+    c_values: Arc<Vec<f64>>,
+    reference: Option<StepValues>,
+    /// Raw bytes this job pins (for the resident-memory accounting).
+    raw_bytes: usize,
+}
+
+/// One encoded block pair travelling from a worker to the committer.
+struct EncodedStep {
+    step: usize,
+    g: EncodedBlock,
+    c: EncodedBlock,
+    raw_bytes: usize,
+}
+
+/// Pulls jobs off the shared queue and encodes them; results go to the
+/// committer. Exits when the job channel closes or the committer is gone.
+fn run_encode_worker(
+    plan: &EncodePlan,
+    rx: &Mutex<Receiver<EncodeJob>>,
+    tx: &SyncSender<EncodedStep>,
+    shared: &Shared,
+) {
+    loop {
+        // Hold the lock only for the receive; encoding runs unlocked so
+        // the other workers can pick up jobs concurrently.
+        let job = {
+            let guard = match rx.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            break;
+        };
+        let start = Instant::now();
+        let (g, c) = match &job.reference {
+            Some((g_ref, c_ref)) => (
+                plan.g.encode(job.step, &job.g_values, g_ref),
+                plan.c.encode(job.step, &job.c_values, c_ref),
+            ),
+            None => (
+                plan.g.encode_seed(&job.g_values),
+                plan.c.encode_seed(&job.c_values),
+            ),
+        };
+        shared
+            .encode_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        let msg = EncodedStep {
+            step: job.step,
+            g,
+            c,
+            raw_bytes: job.raw_bytes,
+        };
+        if tx.send(msg).is_err() {
+            break;
+        }
+    }
+}
+
+/// Reorders encoded blocks by step and commits them to the wrapped store;
+/// returns the store to the joining thread either way.
+fn run_committer(
+    mut store: Box<dyn JacobianStore>,
+    rx: &Receiver<EncodedStep>,
+    shared: &Shared,
+) -> Box<dyn JacobianStore> {
+    let mut parked: BTreeMap<usize, EncodedStep> = BTreeMap::new();
+    let mut next = 0usize;
+    while let Ok(msg) = rx.recv() {
+        parked.insert(msg.step, msg);
+        while let Some(msg) = parked.remove(&next) {
+            let result = store.put_encoded(msg.step, msg.g, msg.c);
+            shared
+                .inner_resident
+                .store(store.resident_bytes(), Ordering::SeqCst);
+            shared
+                .queued_bytes
+                .fetch_sub(msg.raw_bytes, Ordering::SeqCst);
+            shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
+            if let Err(e) = result {
+                park_error(shared, msg.step, e);
+                // Exiting drops `rx`; blocked workers fail their sends and
+                // exit, which closes the job channel back to the producer.
+                return store;
+            }
+            next += 1;
+        }
+    }
+    store
+}
+
+/// The raw values of the newest accepted step, pinned until its successor
+/// arrives (MASC encodes one step late) or `finish` seals it as the
+/// tensor-final seed block.
+struct PrevStep {
+    step: usize,
+    g: Arc<Vec<f64>>,
+    c: Arc<Vec<f64>>,
+}
+
+impl PrevStep {
+    fn raw_bytes(&self) -> usize {
+        (self.g.len() + self.c.len()) * 8
+    }
+}
+
+/// The forward-side machinery of one [`PipelinedStore`].
+enum Engine {
+    /// One thread calling the wrapped store's `put` in step order.
+    Single {
+        tx: Option<SyncSender<Job>>,
+        worker: Option<JoinHandle<Box<dyn JacobianStore>>>,
+    },
+    /// N encode workers + an in-order committer over `put_encoded`.
+    Pool {
+        tx: Option<SyncSender<EncodeJob>>,
+        workers: Vec<JoinHandle<()>>,
+        committer: Option<JoinHandle<Box<dyn JacobianStore>>>,
+        prev: Option<PrevStep>,
+    },
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Single { .. } => f.debug_struct("Single").finish_non_exhaustive(),
+            Engine::Pool { workers, .. } => f
+                .debug_struct("Pool")
+                .field("workers", &workers.len())
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
 /// Runs any [`JacobianStore`] behind a bounded asynchronous pipeline.
 ///
 /// Build one through [`StoreConfig::Pipelined`](super::StoreConfig) or
-/// directly with [`PipelinedStore::spawn`]. The compressed output is
+/// directly with [`PipelinedStore::spawn`] /
+/// [`spawn_pool`](PipelinedStore::spawn_pool). The compressed output is
 /// byte-identical to the wrapped backend run synchronously — the pipeline
-/// changes *when* compression happens, never its input order.
+/// changes *when* and *on how many threads* compression happens, never its
+/// input order.
 #[derive(Debug)]
 pub struct PipelinedStore {
-    tx: Option<SyncSender<Job>>,
-    worker: Option<JoinHandle<Box<dyn JacobianStore>>>,
+    engine: Engine,
     shared: Arc<Shared>,
     wants: bool,
     lookahead: usize,
@@ -132,7 +303,7 @@ pub struct PipelinedStore {
 }
 
 impl PipelinedStore {
-    /// Spawns the worker thread around `inner`.
+    /// Spawns the classic single worker thread around `inner`.
     ///
     /// `queue_depth` bounds the put channel in steps (0 is a rendezvous
     /// channel: every `put` waits for the worker to pick the step up);
@@ -147,8 +318,65 @@ impl PipelinedStore {
             std::thread::spawn(move || run_worker(inner, &rx, &shared))
         };
         Self {
-            tx: Some(tx),
-            worker: Some(worker),
+            engine: Engine::Single {
+                tx: Some(tx),
+                worker: Some(worker),
+            },
+            shared,
+            wants,
+            lookahead: lookahead.max(1),
+            steps: 0,
+            metrics: StoreMetrics::default(),
+        }
+    }
+
+    /// Spawns a pool of `workers` encode threads around `inner`, falling
+    /// back to the single-worker pipeline when `workers <= 1` or the store
+    /// offers no [`encode_plan`](JacobianStore::encode_plan).
+    pub fn spawn_pool(
+        inner: Box<dyn JacobianStore>,
+        queue_depth: usize,
+        lookahead: usize,
+        workers: usize,
+    ) -> Self {
+        let plan = if workers > 1 {
+            inner.encode_plan()
+        } else {
+            None
+        };
+        let Some(plan) = plan else {
+            return Self::spawn(inner, queue_depth, lookahead);
+        };
+        let wants = inner.wants_matrices();
+        let shared = Arc::new(Shared::default());
+        let (tx, job_rx) = mpsc::sync_channel::<EncodeJob>(queue_depth.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        // The committer channel holds one slot per worker plus the queue
+        // bound, so a worker never deadlocks against an out-of-order gap.
+        let (enc_tx, enc_rx) = mpsc::sync_channel::<EncodedStep>(queue_depth.max(1) + workers);
+        let plan = Arc::new(plan);
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let plan = Arc::clone(&plan);
+                let job_rx = Arc::clone(&job_rx);
+                let enc_tx = enc_tx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || run_encode_worker(&plan, &job_rx, &enc_tx, &shared))
+            })
+            .collect();
+        // The committer's channel must close when the last worker exits.
+        drop(enc_tx);
+        let committer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_committer(inner, &enc_rx, &shared))
+        };
+        Self {
+            engine: Engine::Pool {
+                tx: Some(tx),
+                workers: worker_handles,
+                committer: Some(committer),
+                prev: None,
+            },
             shared,
             wants,
             lookahead: lookahead.max(1),
@@ -166,6 +394,46 @@ impl PipelinedStore {
                 source: Box::new(e),
             })
     }
+
+    /// Sends one encode job with backpressure accounting. Returns `false`
+    /// when the pool is gone.
+    fn dispatch_job(&mut self, job: EncodeJob) -> bool {
+        let bytes = job.raw_bytes;
+        self.shared.queued_bytes.fetch_add(bytes, Ordering::SeqCst);
+        let depth = self.shared.queued_jobs.fetch_add(1, Ordering::SeqCst) + 1;
+        self.metrics.max_queue_depth = self.metrics.max_queue_depth.max(depth);
+        let Engine::Pool { tx: Some(tx), .. } = &self.engine else {
+            self.shared.queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            self.shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        };
+        let sent = match tx.try_send(job) {
+            Ok(()) => true,
+            Err(TrySendError::Full(job)) => {
+                let start = Instant::now();
+                let sent = tx.send(job).is_ok();
+                self.metrics.backpressure_wait += start.elapsed();
+                sent
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        };
+        if !sent {
+            self.shared.queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            self.shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
+        }
+        sent
+    }
+
+    /// Whether every pool thread has exited (used to avoid spinning forever
+    /// in `sync` when a thread died without parking an error).
+    fn pool_dead(&self) -> bool {
+        match &self.engine {
+            Engine::Single { .. } => false,
+            Engine::Pool { committer, .. } => {
+                committer.as_ref().is_none_or(JoinHandle::is_finished)
+            }
+        }
+    }
 }
 
 impl JacobianStore for PipelinedStore {
@@ -178,57 +446,111 @@ impl JacobianStore for PipelinedStore {
             return Err(e);
         }
         self.steps = self.steps.max(step + 1);
-        let bytes = (g.len() + c.len()) * 8;
-        let job = Job::Put {
-            step,
-            g: g.to_vec(),
-            c: c.to_vec(),
-        };
-        self.shared.queued_bytes.fetch_add(bytes, Ordering::SeqCst);
-        let depth = self.shared.queued_jobs.fetch_add(1, Ordering::SeqCst) + 1;
-        self.metrics.max_queue_depth = self.metrics.max_queue_depth.max(depth);
-        let tx = self.tx.as_ref().ok_or_else(worker_gone)?;
-        let sent = match tx.try_send(job) {
-            Ok(()) => true,
-            Err(TrySendError::Full(job)) => {
-                // Backpressure: the worker is behind; block (bounded
-                // memory) and account the stall.
-                let start = Instant::now();
-                let sent = tx.send(job).is_ok();
-                self.metrics.backpressure_wait += start.elapsed();
-                sent
+        match &mut self.engine {
+            Engine::Single { tx, .. } => {
+                let bytes = (g.len() + c.len()) * 8;
+                let job = Job::Put {
+                    step,
+                    g: g.to_vec(),
+                    c: c.to_vec(),
+                };
+                self.shared.queued_bytes.fetch_add(bytes, Ordering::SeqCst);
+                let depth = self.shared.queued_jobs.fetch_add(1, Ordering::SeqCst) + 1;
+                self.metrics.max_queue_depth = self.metrics.max_queue_depth.max(depth);
+                let tx = tx.as_ref().ok_or_else(worker_gone)?;
+                let sent = match tx.try_send(job) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(job)) => {
+                        // Backpressure: the worker is behind; block (bounded
+                        // memory) and account the stall.
+                        let start = Instant::now();
+                        let sent = tx.send(job).is_ok();
+                        self.metrics.backpressure_wait += start.elapsed();
+                        sent
+                    }
+                    Err(TrySendError::Disconnected(_)) => false,
+                };
+                if !sent {
+                    self.shared.queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
+                    self.shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
+                    return Err(self.take_error().unwrap_or_else(worker_gone));
+                }
+                Ok(())
             }
-            Err(TrySendError::Disconnected(_)) => false,
-        };
-        if !sent {
-            self.shared.queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
-            self.shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
-            return Err(self.take_error().unwrap_or_else(worker_gone));
+            Engine::Pool { prev, .. } => {
+                let cur = PrevStep {
+                    step,
+                    g: Arc::new(g.to_vec()),
+                    c: Arc::new(c.to_vec()),
+                };
+                let reference = (Arc::clone(&cur.g), Arc::clone(&cur.c));
+                let Some(sealed) = prev.replace(cur) else {
+                    return Ok(()); // first step: nothing encodable yet
+                };
+                let job = EncodeJob {
+                    step: sealed.step,
+                    raw_bytes: sealed.raw_bytes(),
+                    g_values: sealed.g,
+                    c_values: sealed.c,
+                    reference: Some(reference),
+                };
+                if !self.dispatch_job(job) {
+                    return Err(self.take_error().unwrap_or_else(worker_gone));
+                }
+                Ok(())
+            }
         }
-        Ok(())
     }
 
     fn sync(&mut self) -> Result<(), StoreError> {
         if let Some(e) = self.take_error() {
             return Err(e);
         }
-        let Some(tx) = self.tx.as_ref() else {
-            return Ok(());
-        };
-        let (ack_tx, ack_rx) = mpsc::channel();
-        if tx.send(Job::Sync(ack_tx)).is_ok() && ack_rx.recv().is_ok() {
-            return Ok(());
+        match &self.engine {
+            Engine::Single { tx, .. } => {
+                let Some(tx) = tx.as_ref() else {
+                    return Ok(());
+                };
+                let (ack_tx, ack_rx) = mpsc::channel();
+                if tx.send(Job::Sync(ack_tx)).is_ok() && ack_rx.recv().is_ok() {
+                    return Ok(());
+                }
+                // The worker exited before acknowledging: its parked error
+                // says which step failed.
+                Err(self.take_error().unwrap_or_else(worker_gone))
+            }
+            Engine::Pool { .. } => {
+                // Pool barrier: wait for every dispatched job to commit.
+                // (The pinned newest step is not dispatchable yet — it has
+                // no successor — exactly like the raw `pending` matrix a
+                // synchronous compressed store holds.)
+                loop {
+                    if let Some(e) = self.take_error() {
+                        return Err(e);
+                    }
+                    if self.shared.queued_jobs.load(Ordering::SeqCst) == 0 {
+                        return Ok(());
+                    }
+                    if self.pool_dead() {
+                        return Err(self.take_error().unwrap_or_else(worker_gone));
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
         }
-        // The worker exited before acknowledging: its parked error says
-        // which step failed.
-        Err(self.take_error().unwrap_or_else(worker_gone))
     }
 
     fn resident_bytes(&self) -> usize {
         // Queued raw payloads are part of the footprint the backpressure
-        // bound exists to cap — count them alongside the wrapped store.
+        // bound exists to cap — count them alongside the wrapped store
+        // (and, for the pool, the pinned newest step).
+        let pinned = match &self.engine {
+            Engine::Single { .. } => 0,
+            Engine::Pool { prev, .. } => prev.as_ref().map_or(0, PrevStep::raw_bytes),
+        };
         self.shared.inner_resident.load(Ordering::SeqCst)
             + self.shared.queued_bytes.load(Ordering::SeqCst)
+            + pinned
     }
 
     fn metrics(&self) -> &StoreMetrics {
@@ -240,14 +562,54 @@ impl JacobianStore for PipelinedStore {
     }
 
     fn finish(mut self: Box<Self>) -> Result<Box<dyn BackwardReader>, StoreError> {
-        drop(self.tx.take());
-        let worker = self.worker.take().ok_or_else(worker_gone)?;
-        let inner = worker
-            .join()
-            .map_err(|_| StoreError::Io(std::io::Error::other("pipeline worker panicked")))?;
+        let inner = match &mut self.engine {
+            Engine::Single { tx, worker } => {
+                drop(tx.take());
+                let worker = worker.take().ok_or_else(worker_gone)?;
+                worker.join().map_err(|_| {
+                    StoreError::Io(std::io::Error::other("pipeline worker panicked"))
+                })?
+            }
+            Engine::Pool {
+                tx,
+                workers,
+                committer,
+                prev,
+            } => {
+                // Seal: the pinned newest step becomes the tensor-final
+                // seed block (what a synchronous store's `seal` does).
+                if let Some(last) = prev.take() {
+                    let job = EncodeJob {
+                        step: last.step,
+                        raw_bytes: last.raw_bytes(),
+                        g_values: last.g,
+                        c_values: last.c,
+                        reference: None,
+                    };
+                    let bytes = job.raw_bytes;
+                    self.shared.queued_bytes.fetch_add(bytes, Ordering::SeqCst);
+                    self.shared.queued_jobs.fetch_add(1, Ordering::SeqCst);
+                    let sent = tx.as_ref().is_some_and(|tx| tx.send(job).is_ok());
+                    if !sent {
+                        self.shared.queued_bytes.fetch_sub(bytes, Ordering::SeqCst);
+                        self.shared.queued_jobs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                drop(tx.take());
+                for handle in workers.drain(..) {
+                    let _ = handle.join();
+                }
+                let committer = committer.take().ok_or_else(worker_gone)?;
+                committer.join().map_err(|_| {
+                    StoreError::Io(std::io::Error::other("pipeline committer panicked"))
+                })?
+            }
+        };
         if let Some(e) = self.take_error() {
             return Err(e);
         }
+        self.metrics.compress_time +=
+            Duration::from_nanos(self.shared.encode_nanos.load(Ordering::SeqCst));
         let mut reader = inner.finish()?;
         reader.metrics_mut().merge(&self.metrics);
         Ok(Box::new(PrefetchReader::spawn(
@@ -265,10 +627,28 @@ impl JacobianStore for PipelinedStore {
 impl Drop for PipelinedStore {
     fn drop(&mut self) {
         // Join-on-drop: an abandoned record (e.g. a transient abort) must
-        // not leak the worker thread or the wrapped store's spill file.
-        drop(self.tx.take());
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        // not leak the threads or the wrapped store's spill file.
+        match &mut self.engine {
+            Engine::Single { tx, worker } => {
+                drop(tx.take());
+                if let Some(worker) = worker.take() {
+                    let _ = worker.join();
+                }
+            }
+            Engine::Pool {
+                tx,
+                workers,
+                committer,
+                ..
+            } => {
+                drop(tx.take());
+                for handle in workers.drain(..) {
+                    let _ = handle.join();
+                }
+                if let Some(committer) = committer.take() {
+                    let _ = committer.join();
+                }
+            }
         }
     }
 }

@@ -379,8 +379,45 @@ fn pipelined_compressed_round_trip() {
             inner: Box::new(StoreConfig::Compressed(MascConfig::default())),
             queue_depth,
             lookahead: 2,
+            workers: 1,
         });
     }
+}
+
+#[test]
+fn pooled_pipelined_compressed_round_trip() {
+    for workers in [2, 4] {
+        check_backward(StoreConfig::pipelined_pool(
+            StoreConfig::Compressed(MascConfig::default()),
+            workers,
+        ));
+    }
+}
+
+#[test]
+fn pooled_pipelined_hybrid_round_trip() {
+    check_backward(StoreConfig::pipelined_pool(
+        StoreConfig::Hybrid {
+            dir: scratch_dir("pool-hybrid-rt"),
+            bandwidth: None,
+            resident_blocks: 1,
+            masc: MascConfig::default(),
+        },
+        3,
+    ));
+}
+
+/// A pool over a store with no encode plan (raw disk) must fall back to
+/// the single-worker pipeline and still round-trip.
+#[test]
+fn pooled_pipeline_over_planless_store_falls_back() {
+    check_backward(StoreConfig::pipelined_pool(
+        StoreConfig::Disk {
+            dir: scratch_dir("pool-disk-fallback"),
+            bandwidth: None,
+        },
+        4,
+    ));
 }
 
 #[test]
@@ -392,6 +429,7 @@ fn pipelined_disk_round_trip() {
         }),
         queue_depth: 2,
         lookahead: 1,
+        workers: 1,
     });
 }
 
@@ -455,20 +493,26 @@ fn pipelined_hybrid_spill_stream_is_byte_identical_to_sync() {
         let (sync_stream, sync_written) = run(hybrid(&sync_dir), &sync_dir);
         assert!(!sync_stream.is_empty());
         for queue_depth in [1usize, 4] {
-            let dir = scratch_dir(&format!("exact-piped-{threads}-{queue_depth}"));
-            let (piped_stream, piped_written) = run(
-                StoreConfig::Pipelined {
-                    inner: Box::new(hybrid(&dir)),
-                    queue_depth,
-                    lookahead: 2,
-                },
-                &dir,
-            );
-            assert_eq!(
-                sync_stream, piped_stream,
-                "threads={threads} queue_depth={queue_depth}: spill streams differ"
-            );
-            assert_eq!(sync_written, piped_written);
+            // workers > 1 exercises the encode pool (out-of-order encode,
+            // in-order commit); the bytes must still match the sync path.
+            for workers in [1usize, 4] {
+                let dir = scratch_dir(&format!("exact-piped-{threads}-{queue_depth}-{workers}"));
+                let (piped_stream, piped_written) = run(
+                    StoreConfig::Pipelined {
+                        inner: Box::new(hybrid(&dir)),
+                        queue_depth,
+                        lookahead: 2,
+                        workers,
+                    },
+                    &dir,
+                );
+                assert_eq!(
+                    sync_stream, piped_stream,
+                    "threads={threads} queue_depth={queue_depth} workers={workers}: \
+                     spill streams differ"
+                );
+                assert_eq!(sync_written, piped_written);
+            }
         }
     }
 }
@@ -486,6 +530,7 @@ fn pipelined_metrics_track_queue_backpressure_and_prefetch() {
         }),
         queue_depth: 1,
         lookahead: 2,
+        workers: 1,
     };
     let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
     feed(&mut record, &p, steps);
@@ -529,6 +574,7 @@ fn pipelined_hybrid_spill_cleanup_on_success() {
         }),
         queue_depth: 2,
         lookahead: 2,
+        workers: 1,
     };
     let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
     feed(&mut record, &p, 12);

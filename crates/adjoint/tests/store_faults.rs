@@ -9,8 +9,9 @@
 #![allow(clippy::disallowed_methods)]
 
 use masc_adjoint::store::{
-    BackwardReader, CompressedStore, DiskStore, FailingWriter, ForwardRecord, JacobianStore,
-    StepMatrices, StoreConfig, StoreError, StoreMetrics, TensorLayout,
+    BackwardReader, CompressedStore, DiskStore, EncodePlan, EncodedBlock, FailingWriter,
+    ForwardRecord, HybridStore, JacobianStore, PipelinedStore, StepMatrices, StoreConfig,
+    StoreError, StoreMetrics, TensorLayout,
 };
 use masc_circuit::parser::parse_netlist;
 use masc_circuit::transient::{transient, JacobianSink, TranError};
@@ -256,8 +257,6 @@ fn fully_empty_tensor_with_recorded_steps_errors() {
 /// failure is noticed).
 #[test]
 fn pipelined_transient_surfaces_disk_full_as_sink_error() {
-    use masc_adjoint::store::PipelinedStore;
-
     let parsed = parse_netlist(
         "V1 in 0 SIN(0 1 1e6)\n\
          R1 in out 1k\n\
@@ -316,8 +315,6 @@ fn pipelined_transient_surfaces_disk_full_as_sink_error() {
 /// must still abort the transient: `on_finish` drains the queue.
 #[test]
 fn pipelined_fault_on_final_queued_step_still_aborts() {
-    use masc_adjoint::store::PipelinedStore;
-
     let p = pattern();
     let lay = layout(&p);
     let step_bytes = 2 * p.nnz() * 8;
@@ -353,6 +350,7 @@ fn dropped_pipelined_record_joins_worker_and_cleans_up() {
         }),
         queue_depth: 2,
         lookahead: 2,
+        workers: 1,
     };
     let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
     feed(&mut record, &p, 5);
@@ -378,11 +376,143 @@ fn dropped_prefetching_reader_joins_worker_and_cleans_up() {
         }),
         queue_depth: 2,
         lookahead: 1,
+        workers: 1,
     };
     let mut record = ForwardRecord::new(layout(&p), &config).unwrap();
     feed(&mut record, &p, 20);
     let mut reader = record.into_reader().unwrap();
     reader.next_back().unwrap(); // consume one step, then abandon
     drop(reader);
+    assert_eq!(dir_entries(&dir), 0);
+}
+
+/// A hybrid store whose encoded-block commit fails at one exact step —
+/// the scripted stand-in for the spill tier filling up while a
+/// multi-worker pipeline is encoding ahead of it.
+#[derive(Debug)]
+struct FailingEncodedStore {
+    inner: HybridStore,
+    fail_at: usize,
+}
+
+impl JacobianStore for FailingEncodedStore {
+    fn put(&mut self, step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError> {
+        self.inner.put(step, g, c)
+    }
+
+    fn encode_plan(&self) -> Option<EncodePlan> {
+        self.inner.encode_plan()
+    }
+
+    fn put_encoded(
+        &mut self,
+        step: usize,
+        g: EncodedBlock,
+        c: EncodedBlock,
+    ) -> Result<(), StoreError> {
+        if step == self.fail_at {
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected encoded-commit fault",
+            )));
+        }
+        self.inner.put_encoded(step, g, c)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.inner.resident_bytes()
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        self.inner.metrics()
+    }
+
+    fn metrics_mut(&mut self) -> &mut StoreMetrics {
+        self.inner.metrics_mut()
+    }
+
+    fn finish(self: Box<Self>) -> Result<Box<dyn BackwardReader>, StoreError> {
+        Box::new(self.inner).finish()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// ISSUE 6 satellite: with a pool of W > 1 encode workers, a commit
+/// failure at step k must surface as `StoreError::Worker { step: k }`
+/// (wrapped in `TranError::Sink` at the first step the forward loop can
+/// notice), and the hybrid spill file must be cleaned up on drop.
+#[test]
+fn pooled_pipeline_fault_names_exact_step_and_cleans_spill() {
+    const FAIL_AT: usize = 5;
+
+    let parsed = parse_netlist(
+        "V1 in 0 SIN(0 1 1e6)\n\
+         R1 in out 1k\n\
+         C1 out 0 1n\n\
+         .tran 20n 2u\n\
+         .end",
+    )
+    .expect("valid netlist");
+    let mut circuit = parsed.circuit;
+    let mut system = circuit.elaborate().expect("elaborates");
+    let tran = parsed.tran.expect(".tran present");
+    let layout = TensorLayout::of(&system);
+
+    let dir = scratch_dir("pool-fault");
+    // resident_blocks = 0: every committed block spills immediately, so
+    // the spill file demonstrably exists before the fault hits.
+    let hybrid = HybridStore::create(
+        layout.g_pattern.clone(),
+        layout.c_pattern.clone(),
+        MascConfig::default(),
+        &dir,
+        None,
+        0,
+    )
+    .expect("spill file creates");
+    let store = FailingEncodedStore {
+        inner: hybrid,
+        fail_at: FAIL_AT,
+    };
+    let piped = PipelinedStore::spawn_pool(Box::new(store), 4, 2, 3);
+    let mut record = ForwardRecord::with_store(layout, Box::new(piped));
+
+    let err = transient(&circuit, &mut system, &tran, &mut record)
+        .expect_err("the injected fault must abort the transient");
+    match &err {
+        TranError::Sink { step, source, .. } => {
+            // The pool encodes step k only once step k + 1 arrives, so the
+            // forward loop cannot notice before then — but the parked
+            // error must name the failing step exactly.
+            assert!(
+                *step >= FAIL_AT,
+                "fault visible no earlier than the failing step, got {step}"
+            );
+            assert!(
+                source.to_string().contains("injected encoded-commit fault"),
+                "error chain must carry the commit cause, got: {source}"
+            );
+            let store_err = source
+                .inner()
+                .downcast_ref::<StoreError>()
+                .expect("sink error wraps a StoreError");
+            match store_err {
+                StoreError::Worker { step, .. } => {
+                    assert_eq!(
+                        *step, FAIL_AT,
+                        "the pool names the step whose commit failed"
+                    )
+                }
+                other => panic!("expected StoreError::Worker, got {other:?}"),
+            }
+        }
+        other => panic!("expected TranError::Sink, got {other:?}"),
+    }
+    // Abort path: dropping the record joins the pool (workers + committer)
+    // and the wrapped hybrid store removes its spill file.
+    assert_eq!(dir_entries(&dir), 1);
+    drop(record);
     assert_eq!(dir_entries(&dir), 0);
 }

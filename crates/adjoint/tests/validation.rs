@@ -215,6 +215,7 @@ fn all_stores_agree_exactly() {
                 }),
                 queue_depth: 4,
                 lookahead: 3,
+                workers: 1,
             },
         ];
         let mut results = Vec::new();

@@ -1,12 +1,77 @@
 //! Thread-scaling sweep of the parallel compressor (paper §6.4).
+//!
+//! ```text
+//! scaling [--quick] [--json <path>] [--gate <min-4-thread-comp-speedup>]
+//! ```
+//!
+//! `--quick` profiles a subset of the matrix pairs (the CI mode);
+//! `--json` writes the machine-readable sweep next to the printed table;
+//! `--gate` exits nonzero when the modeled 4-thread compression speedup
+//! falls below the floor (the CI regression gate for chunk independence —
+//! a cross-chunk dependency or serial-section regression shows up here).
 
-fn main() {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut counts = vec![1usize, 2, 4, 8, 16];
-    counts.retain(|&c| c <= cores.max(2) * 2);
-    eprintln!("running thread scaling over {counts:?} ({cores} cores available) ...");
-    let points = masc_bench::scaling::run(&counts);
-    println!("{}", masc_bench::scaling::render(&points));
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut gate: Option<f64> = None;
+    let mut quick = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json_path = iter.next().cloned(),
+            "--gate" => gate = iter.next().and_then(|v| v.parse().ok()),
+            "--quick" => quick = true,
+            other => {
+                eprintln!(
+                    "unknown argument {other:?} \
+                     (usage: scaling [--quick] [--json <path>] [--gate <x>])"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let counts = [1usize, 2, 4, 8, 16];
+    eprintln!("running thread scaling over {counts:?} (critical-path model) ...");
+    let sweep = if quick {
+        masc_bench::scaling::run_opts(&counts, 60, 2)
+    } else {
+        masc_bench::scaling::run(&counts)
+    };
+    println!("{}", masc_bench::scaling::render(&sweep));
+
+    if let Some(path) = json_path {
+        let json = masc_bench::scaling::render_json(&sweep);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(floor) = gate {
+        match sweep.points.iter().find(|p| p.threads == 4) {
+            Some(p) if p.comp_speedup >= floor => {
+                eprintln!(
+                    "gate ok: 4-thread compress speedup {:.2}x >= {floor:.2}x \
+                     (decompress {:.2}x)",
+                    p.comp_speedup, p.decomp_speedup
+                );
+            }
+            Some(p) => {
+                eprintln!(
+                    "gate FAILED: 4-thread compress speedup {:.2}x < {floor:.2}x",
+                    p.comp_speedup
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("gate FAILED: sweep has no 4-thread point");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -25,6 +25,16 @@ pub struct MascConfig {
     pub chunk_size: usize,
     /// Worker threads for the parallel paths (1 = serial).
     pub threads: usize,
+    /// Every `seed_interval`-th block of a tensor is sealed as a *seed*:
+    /// encoded against an all-zero reference instead of its successor, so
+    /// the backward chain breaks into independently-decodable groups of at
+    /// most `seed_interval` blocks that can be expanded concurrently.
+    ///
+    /// `0` (the default) disables periodic seeding — only the final block
+    /// of a tensor is a seed, exactly the classic chained layout. Smaller
+    /// intervals trade compression ratio (seed blocks lack a temporal
+    /// reference) for decode parallelism.
+    pub seed_interval: usize,
 }
 
 impl Default for MascConfig {
@@ -37,6 +47,7 @@ impl Default for MascConfig {
             checksum: true,
             chunk_size: 1 << 16,
             threads: 1,
+            seed_interval: 0,
         }
     }
 }
@@ -63,6 +74,18 @@ impl MascConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Sets the tensor seed interval (`0` = seed only the final block).
+    pub fn with_seed_interval(mut self, interval: usize) -> Self {
+        self.seed_interval = interval;
+        self
+    }
+
+    /// Whether tensor block `t` should be sealed as a seed block under this
+    /// config (the final block of a tensor is always a seed regardless).
+    pub fn is_seed_step(&self, t: usize) -> bool {
+        self.seed_interval > 0 && (t + 1).is_multiple_of(self.seed_interval)
     }
 }
 

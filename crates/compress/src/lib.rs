@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod lanes;
 pub mod markov;
 pub mod matrix;
 pub mod parallel;
@@ -69,11 +70,15 @@ pub mod mutation;
 
 pub use config::MascConfig;
 pub use matrix::{compress_matrix, decompress_matrix};
-pub use parallel::{compress_matrix_parallel, decompress_matrix_parallel};
+pub use parallel::{
+    compress_matrix_parallel, compress_matrix_seeded, decompress_matrix_parallel, profile_matrix,
+    MatrixProfile,
+};
 pub use predictor::{Region, StampMaps};
 pub use stats::{CompressStats, ModelClass};
 pub use tensor::{
-    decode_block, encode_block, BackwardDecompressor, CompressedTensor, TensorCompressor,
+    decode_block, encode_block, encode_seed_block, BackwardDecompressor, CompressedTensor,
+    TensorCompressor,
 };
 
 use crate::residual::ResidualError;
@@ -125,6 +130,9 @@ impl From<ResidualError> for CompressError {
             ResidualError::Truncated(_) => CompressError::Truncated,
             ResidualError::OrphanSharedWindow { .. } => {
                 CompressError::Corrupt("orphan shared-window flag")
+            }
+            ResidualError::ImpossibleWindow { .. } => {
+                CompressError::Corrupt("residual window wider than 64 bits")
             }
         }
     }

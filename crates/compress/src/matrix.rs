@@ -20,7 +20,7 @@
 use crate::config::MascConfig;
 use crate::markov::MarkovModel;
 use crate::predictor::{best_fit, StampMaps};
-use crate::residual::{decode_residual, encode_residual, ResidualState};
+use crate::residual::{decode_residual, encode_residual, encode_residuals_batched, ResidualState};
 use crate::stats::CompressStats;
 use crate::CompressError;
 use masc_bitio::{varint, BitReader, BitWriter};
@@ -29,6 +29,22 @@ pub(crate) const FLAG_MARKOV: u8 = 1 << 0;
 pub(crate) const FLAG_SIGN_INVERT: u8 = 1 << 1;
 pub(crate) const FLAG_CHECKSUM: u8 = 1 << 2;
 pub(crate) const FLAG_CHUNKED: u8 = 1 << 3;
+/// The stream was encoded against an all-zero reference (a *seed* block):
+/// the decoder substitutes zeros for whatever reference the caller hands
+/// it, making the block decodable with no temporal predecessor.
+pub(crate) const FLAG_SEEDED: u8 = 1 << 4;
+/// Era-2 chunked layout: each chunk carries its own header (flags, element
+/// count, selection-substream length, byte length) ahead of the payloads.
+/// Always set together with [`FLAG_CHUNKED`].
+pub(crate) const FLAG_CHUNK_HEADERS: u8 = 1 << 5;
+/// Bits no known era uses; streams carrying them are from the future and
+/// must be rejected rather than misread.
+const FLAG_UNKNOWN_MASK: u8 = !(FLAG_MARKOV
+    | FLAG_SIGN_INVERT
+    | FLAG_CHECKSUM
+    | FLAG_CHUNKED
+    | FLAG_SEEDED
+    | FLAG_CHUNK_HEADERS);
 
 /// Rotating XOR fold over value bit patterns — cheap integrity check.
 pub(crate) fn checksum(values: &[f64]) -> u64 {
@@ -79,6 +95,29 @@ fn region_warmups(
         *o = frac.max(params.min_warmup).min(cnt);
     }
     out
+}
+
+/// Number of selection bits the encoder emits for `range` — the warm-up
+/// elements' 1–2 bit codes (post-warm-up selections are Markov-predicted
+/// and cost nothing). Deterministic from the maps and params, so encoder
+/// and decoder independently agree on where the selection substream ends.
+pub(crate) fn selection_bit_count(
+    maps: &StampMaps,
+    range: core::ops::Range<usize>,
+    params: &HeaderParams,
+) -> u64 {
+    let warmups = region_warmups(maps, range.clone(), params);
+    let mut seen = [0usize; 3];
+    let mut bits = 0u64;
+    for i in range {
+        let region = maps.region_of(maps.order()[i]);
+        let ri = region.index();
+        if seen[ri] < warmups[ri] {
+            seen[ri] += 1;
+            bits += u64::from(region.selection_bits());
+        }
+    }
+    bits
 }
 
 /// Encodes the order positions `range` of `values` into `w`.
@@ -172,6 +211,153 @@ pub(crate) fn decode_range(
     Ok(())
 }
 
+/// Era-2 chunk encoder: selection substream first, then the residual
+/// substream, in one bit-contiguous payload. Returns the number of
+/// selection bits written (recorded in the chunk header so the decoder can
+/// split the payload without replaying the warm-up bookkeeping).
+///
+/// Segregating the substreams is what lets the residual side run through
+/// the batched u64-lane kernels ([`crate::lanes`]): predictions for the
+/// whole chunk are resolved in one scalar pass (the encoder has every true
+/// value, so spatial candidates never wait on decoding), after which the
+/// XOR and leading/trailing-zero classification are straight-line
+/// lane-parallel array work.
+pub(crate) fn encode_range_split(
+    w: &mut BitWriter,
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    params: &HeaderParams,
+    range: core::ops::Range<usize>,
+    stats: &mut CompressStats,
+) -> u64 {
+    let chunk_start = range.start;
+    let warmups = region_warmups(maps, range.clone(), params);
+    let mut seen = [0usize; 3];
+    let mut markov = MarkovModel::new();
+    let len = range.len();
+    let mut ordered = Vec::with_capacity(len);
+    let mut preds = Vec::with_capacity(len);
+    let sel_start = w.bit_len() as u64;
+    // Pass 1 (scalar): resolve every selection, emit the warm-up selection
+    // bits, and collect ordered truths + chosen predictions.
+    for i in range {
+        let k = maps.order()[i];
+        let region = maps.region_of(k);
+        let ri = region.index();
+        let truth = values[k];
+        let cands = maps.candidates(k, reference, values, params.sign_invert, chunk_start);
+        let code = if seen[ri] < warmups[ri] {
+            seen[ri] += 1;
+            let code = best_fit(&cands, region.candidate_count(), truth);
+            #[cfg(feature = "mutation-hooks")]
+            let wire = crate::mutation::perturb_selection(code, region.candidate_count());
+            #[cfg(not(feature = "mutation-hooks"))]
+            let wire = code;
+            w.write_bits(u64::from(wire), region.selection_bits());
+            markov.observe(region, code);
+            code
+        } else {
+            let predicted = markov.predict(region);
+            stats.markov_predicted += 1;
+            if predicted != best_fit(&cands, region.candidate_count(), truth) {
+                stats.markov_misses += 1;
+            }
+            predicted
+        };
+        stats.record_selection(StampMaps::model_class(region, code));
+        debug_assert!((code as usize) < cands.len(), "selection within candidates");
+        ordered.push(truth);
+        preds.push(cands[code as usize].to_bits());
+    }
+    let sel_bits = w.bit_len() as u64 - sel_start;
+    // Pass 2 (lanes): batched XOR + leading/trailing-zero classification.
+    let mut residuals = vec![0u64; ordered.len()];
+    crate::lanes::xor_residuals(&ordered, &preds, &mut residuals);
+    let mut lz = vec![0u8; residuals.len()];
+    let mut tz = vec![0u8; residuals.len()];
+    crate::lanes::classify_residuals(&residuals, &mut lz, &mut tz);
+    // Pass 3: batched residual bit-packing appended after the selections.
+    let mut res_state = ResidualState::new();
+    encode_residuals_batched(w, &mut res_state, &residuals, &lz, &tz, stats);
+    sel_bits
+}
+
+/// Era-2 chunk decoder into a *chunk-local* buffer.
+///
+/// `payload` is one chunk's bit-contiguous substreams; `sel_bits` is the
+/// selection-substream length claimed by the chunk header (validated here
+/// against the independently recomputed count). `local` must have exactly
+/// the range's length; `local[p - range.start]` receives order position
+/// `p`'s value. No nnz-sized scratch is touched, so N chunks decode
+/// truly concurrently.
+///
+/// # Errors
+///
+/// Returns [`CompressError`] on truncation, invalid selection codes, or a
+/// selection-substream length that disagrees with the header parameters.
+pub(crate) fn decode_range_local(
+    payload: &[u8],
+    sel_bits: u64,
+    local: &mut [f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    params: &HeaderParams,
+    range: core::ops::Range<usize>,
+) -> Result<(), CompressError> {
+    let chunk_start = range.start;
+    let len = range.len();
+    if local.len() != len {
+        return Err(CompressError::Corrupt("chunk buffer length mismatch"));
+    }
+    if sel_bits != selection_bit_count(maps, range.clone(), params) {
+        return Err(CompressError::Corrupt(
+            "chunk selection-substream length mismatch",
+        ));
+    }
+    if sel_bits > (payload.len() as u64) * 8 {
+        return Err(CompressError::Truncated);
+    }
+    // Pass 1: resolve the full selection-code sequence. Only the selection
+    // substream is consumed; codes never depend on decoded values.
+    let warmups = region_warmups(maps, range.clone(), params);
+    let mut seen = [0usize; 3];
+    let mut markov = MarkovModel::new();
+    let mut sel = BitReader::new(payload);
+    let mut codes: Vec<u32> = Vec::with_capacity(range.len());
+    for i in range.clone() {
+        let region = maps.region_of(maps.order()[i]);
+        let ri = region.index();
+        let code = if seen[ri] < warmups[ri] {
+            seen[ri] += 1;
+            let code = sel.read_bits(region.selection_bits())? as u32;
+            if code as usize >= region.candidate_count() {
+                return Err(CompressError::Corrupt("selection code out of range"));
+            }
+            markov.observe(region, code);
+            code
+        } else {
+            markov.predict(region)
+        };
+        codes.push(code);
+    }
+    // Pass 2: decode the residual substream (bit-serial, value-independent).
+    let mut res = BitReader::at_bit(payload, sel_bits as usize);
+    let mut res_state = ResidualState::new();
+    let mut residuals = vec![0u64; codes.len()];
+    for slot in residuals.iter_mut() {
+        *slot = decode_residual(&mut res, &mut res_state)?;
+    }
+    // Pass 3: reconstruct values against the chunk-local prediction state.
+    for (off, i) in range.enumerate() {
+        let k = maps.order()[i];
+        let cands = maps.candidates_local(k, reference, local, params.sign_invert, chunk_start);
+        let code = codes[off] as usize;
+        local[off] = f64::from_bits(cands[code].to_bits() ^ residuals[off]);
+    }
+    Ok(())
+}
+
 /// Writes the common stream header; returns the buffer.
 pub(crate) fn write_header(values: &[f64], config: &MascConfig, extra_flags: u8) -> Vec<u8> {
     let mut header = Vec::with_capacity(24);
@@ -203,6 +389,10 @@ pub(crate) struct ParsedHeader {
     pub params: HeaderParams,
     pub expected_checksum: Option<u64>,
     pub chunked: bool,
+    /// Era-2 chunked layout with per-chunk headers.
+    pub chunk_headers: bool,
+    /// Seed block: decode against zeros, not the caller's reference.
+    pub seeded: bool,
     pub payload_offset: usize,
 }
 
@@ -214,6 +404,14 @@ pub(crate) fn parse_header(
     let mut pos = 0usize;
     let flags = *bytes.first().ok_or(CompressError::Truncated)?;
     pos += 1;
+    if flags & FLAG_UNKNOWN_MASK != 0 {
+        return Err(CompressError::Corrupt("unknown header flag bits"));
+    }
+    if flags & FLAG_CHUNK_HEADERS != 0 && flags & FLAG_CHUNKED == 0 {
+        return Err(CompressError::Corrupt(
+            "chunk-header flag without chunked flag",
+        ));
+    }
     let (stored_nnz, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
     pos += used;
     if stored_nnz as usize != expected_nnz {
@@ -251,6 +449,8 @@ pub(crate) fn parse_header(
         },
         expected_checksum,
         chunked: flags & FLAG_CHUNKED != 0,
+        chunk_headers: flags & FLAG_CHUNK_HEADERS != 0,
+        seeded: flags & FLAG_SEEDED != 0,
         payload_offset: pos,
     })
 }
@@ -317,8 +517,18 @@ pub fn decompress_matrix(
             "chunked stream passed to the serial decoder",
         ));
     }
+    let zeros;
+    let reference: &[f64] = if header.seeded {
+        zeros = vec![0.0f64; nnz];
+        &zeros
+    } else {
+        reference
+    };
     let mut out = vec![0.0f64; nnz];
-    let mut r = BitReader::new(&bytes[header.payload_offset..]);
+    let payload = bytes
+        .get(header.payload_offset..)
+        .ok_or(CompressError::Corrupt("payload offset past end of stream"))?;
+    let mut r = BitReader::new(payload);
     decode_range(&mut r, &mut out, reference, maps, &header.params, 0..nnz, 0)?;
     if let Some(expected) = header.expected_checksum {
         if checksum(&out) != expected {

@@ -7,22 +7,36 @@
 //! (own residual window, own Markov warm-up, in-matrix predictions confined
 //! to the chunk), so both compression and decompression parallelize.
 //!
-//! Chunked stream layout:
+//! Two stream eras coexist:
+//!
+//! Era 2 (written by this encoder) — per-chunk headers, segregated
+//! selection/residual substreams, chunk-local decode buffers:
 //!
 //! ```text
-//! [common header with FLAG_CHUNKED]
-//! [varint chunk_size] [varint n_chunks] [varint byte_len × n_chunks]
+//! [common header with FLAG_CHUNKED | FLAG_CHUNK_HEADERS]
+//! [varint chunk_size] [varint n_chunks]
+//! per chunk: [u8 chunk flags (0)] [varint count] [varint sel_bits] [varint byte_len]
 //! [chunk payloads, byte-aligned]
 //! ```
+//!
+//! Era 1 (legacy, still decodable) — `FLAG_CHUNKED` alone, interleaved
+//! selection/residual bits, `[varint byte_len × n]` length table only.
+//!
+//! The era-2 decoder gives each chunk a buffer of exactly the chunk's
+//! length (`decode_range_local`); the era-1 decoder needed an nnz-sized
+//! scratch matrix per worker, which made wide matrices memory-bound and
+//! flattened thread scaling.
 
 use crate::config::MascConfig;
 use crate::matrix::{
-    checksum, decode_range, encode_range, parse_header, write_header, HeaderParams, FLAG_CHUNKED,
+    checksum, decode_range, decode_range_local, encode_range_split, parse_header, write_header,
+    HeaderParams, ParsedHeader, FLAG_CHUNKED, FLAG_CHUNK_HEADERS, FLAG_SEEDED,
 };
 use crate::predictor::StampMaps;
 use crate::stats::CompressStats;
 use crate::CompressError;
 use masc_bitio::{varint, BitReader, BitWriter};
+use std::time::{Duration, Instant};
 
 /// Splits `0..nnz` into `chunk_size` ranges.
 fn chunk_ranges(nnz: usize, chunk_size: usize) -> Vec<core::ops::Range<usize>> {
@@ -32,11 +46,134 @@ fn chunk_ranges(nnz: usize, chunk_size: usize) -> Vec<core::ops::Range<usize>> {
         .collect()
 }
 
-/// Compresses a matrix with chunk-level parallelism.
+/// One independently-encoded chunk.
+struct EncodedChunk {
+    bytes: Vec<u8>,
+    sel_bits: u64,
+    stats: CompressStats,
+}
+
+fn encode_chunk(
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    params: &HeaderParams,
+    range: core::ops::Range<usize>,
+) -> EncodedChunk {
+    let mut stats = CompressStats::new();
+    let mut w = BitWriter::with_capacity(range.len() / 2 + 16);
+    let sel_bits = encode_range_split(&mut w, values, reference, maps, params, range, &mut stats);
+    EncodedChunk {
+        bytes: w.into_bytes(),
+        sel_bits,
+        stats,
+    }
+}
+
+/// Encodes every chunk, in parallel when `threads > 1`; order restored by
+/// index, so the output is thread-count invariant.
+fn encode_chunks(
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    params: &HeaderParams,
+    ranges: &[core::ops::Range<usize>],
+    threads: usize,
+) -> Vec<EncodedChunk> {
+    if threads <= 1 || ranges.len() <= 1 {
+        return ranges
+            .iter()
+            .map(|range| encode_chunk(values, reference, maps, params, range.clone()))
+            .collect();
+    }
+    // Strided assignment (worker t takes chunks t, t+T, t+2T, …): chunk
+    // cost is usually skewed toward one end of the matrix, and striding
+    // spreads that skew across workers where a contiguous split would
+    // pile it onto one.
+    let threads = threads.min(ranges.len());
+    let mut buckets: Vec<Vec<EncodedChunk>> = Vec::new();
+    buckets.resize_with(threads, Vec::new);
+    std::thread::scope(|scope| {
+        for (tid, bucket) in buckets.iter_mut().enumerate() {
+            scope.spawn(move || {
+                for i in (tid..ranges.len()).step_by(threads) {
+                    bucket.push(encode_chunk(
+                        values,
+                        reference,
+                        maps,
+                        params,
+                        ranges[i].clone(),
+                    ));
+                }
+            });
+        }
+    });
+    // Every bucket is complete before the scope exits (a panicking worker
+    // aborts the scope); reassemble in chunk order.
+    let mut slots: Vec<Option<EncodedChunk>> = Vec::new();
+    slots.resize_with(ranges.len(), || None);
+    for (tid, bucket) in buckets.into_iter().enumerate() {
+        for (k, chunk) in bucket.into_iter().enumerate() {
+            slots[tid + k * threads] = Some(chunk);
+        }
+    }
+    slots.into_iter().flatten().collect()
+}
+
+/// Assembles the era-2 stream from encoded chunks.
+fn assemble_chunked(
+    values: &[f64],
+    config: &MascConfig,
+    ranges: &[core::ops::Range<usize>],
+    encoded: &[EncodedChunk],
+    seeded: bool,
+    stats: &mut CompressStats,
+) -> Vec<u8> {
+    let mut flags = FLAG_CHUNKED | FLAG_CHUNK_HEADERS;
+    if seeded {
+        flags |= FLAG_SEEDED;
+    }
+    let mut out = write_header(values, config, flags);
+    varint::write_u64(&mut out, config.chunk_size as u64);
+    varint::write_u64(&mut out, encoded.len() as u64);
+    for (range, chunk) in ranges.iter().zip(encoded) {
+        out.push(0); // per-chunk flags: none defined in era 2
+        varint::write_u64(&mut out, range.len() as u64);
+        varint::write_u64(&mut out, chunk.sel_bits);
+        varint::write_u64(&mut out, chunk.bytes.len() as u64);
+    }
+    for chunk in encoded {
+        out.extend_from_slice(&chunk.bytes);
+        stats.merge(&chunk.stats);
+    }
+    stats.input_bytes = (values.len() * 8) as u64; // merge() double-adds; reset
+    stats.output_bytes = out.len() as u64;
+    out
+}
+
+fn compress_chunked(
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+    seeded: bool,
+) -> (Vec<u8>, CompressStats) {
+    let nnz = maps.order().len();
+    assert_eq!(values.len(), nnz, "value count != pattern nnz");
+    assert_eq!(reference.len(), nnz, "reference count != pattern nnz");
+    let ranges = chunk_ranges(nnz, config.chunk_size);
+    let params = HeaderParams::from_config(config);
+    let threads = config.threads.max(1).min(ranges.len().max(1));
+    let encoded = encode_chunks(values, reference, maps, &params, &ranges, threads);
+    let mut stats = CompressStats::new();
+    let out = assemble_chunked(values, config, &ranges, &encoded, seeded, &mut stats);
+    (out, stats)
+}
+
+/// Compresses a matrix with chunk-level parallelism (era-2 stream).
 ///
-/// Produces a *chunked* stream (decodable only by
-/// [`decompress_matrix_parallel`]); the output is byte-identical for any
-/// thread count, so compression results are reproducible.
+/// The output is byte-identical for any thread count, so compression
+/// results are reproducible.
 ///
 /// # Panics
 ///
@@ -48,108 +185,227 @@ pub fn compress_matrix_parallel(
     maps: &StampMaps,
     config: &MascConfig,
 ) -> (Vec<u8>, CompressStats) {
-    let nnz = maps.order().len();
-    assert_eq!(values.len(), nnz, "value count != pattern nnz");
-    assert_eq!(reference.len(), nnz, "reference count != pattern nnz");
-    let ranges = chunk_ranges(nnz, config.chunk_size);
-    let params = HeaderParams::from_config(config);
-    let threads = config.threads.max(1).min(ranges.len().max(1));
-
-    // Encode chunks (possibly) in parallel; order restored by index.
-    let mut encoded: Vec<(Vec<u8>, CompressStats)> = Vec::with_capacity(ranges.len());
-    if threads <= 1 || ranges.len() <= 1 {
-        for range in &ranges {
-            encoded.push(encode_chunk(
-                values,
-                reference,
-                maps,
-                &params,
-                range.clone(),
-            ));
-        }
-    } else {
-        let mut slots: Vec<Option<(Vec<u8>, CompressStats)>> = vec![None; ranges.len()];
-        let per = ranges.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (tid, slot_chunk) in slots.chunks_mut(per).enumerate() {
-                let ranges = &ranges;
-                let params = &params;
-                let base = tid * per;
-                scope.spawn(move || {
-                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                        let range = ranges[base + off].clone();
-                        *slot = Some(encode_chunk(values, reference, maps, params, range));
-                    }
-                });
-            }
-        });
-        // Every slot is filled before the scope exits (a panicking worker
-        // aborts the scope), so flattening drops nothing.
-        encoded.extend(slots.into_iter().flatten());
-    }
-
-    let mut stats = CompressStats::new();
-    stats.input_bytes = (nnz * 8) as u64;
-    let mut out = write_header(values, config, FLAG_CHUNKED);
-    varint::write_u64(&mut out, config.chunk_size as u64);
-    varint::write_u64(&mut out, encoded.len() as u64);
-    for (bytes, _) in &encoded {
-        varint::write_u64(&mut out, bytes.len() as u64);
-    }
-    for (bytes, chunk_stats) in &encoded {
-        out.extend_from_slice(bytes);
-        stats.merge(chunk_stats);
-    }
-    stats.input_bytes = (nnz * 8) as u64; // merge() double-adds; reset
-    stats.output_bytes = out.len() as u64;
-    (out, stats)
+    compress_chunked(values, reference, maps, config, false)
 }
 
-fn encode_chunk(
+/// Compresses a matrix as a *seed* block: encoded against an all-zero
+/// reference and flagged so the decoder needs no temporal predecessor.
+/// Seed blocks are what let a tensor's backward chain split into
+/// independently-decodable groups.
+///
+/// # Panics
+///
+/// Panics if `values.len()` differs from the pattern nnz.
+pub fn compress_matrix_seeded(
     values: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> (Vec<u8>, CompressStats) {
+    let zeros = vec![0.0f64; maps.order().len()];
+    compress_chunked(values, &zeros, maps, config, true)
+}
+
+/// Parsed era-2 per-chunk header entry.
+struct ChunkEntry {
+    sel_bits: u64,
+    offset: usize,
+    len: usize,
+}
+
+/// Parses the era-2 chunk table; returns the chunk grid and entries.
+#[allow(clippy::type_complexity)]
+fn parse_chunk_table(
+    bytes: &[u8],
+    nnz: usize,
+    mut pos: usize,
+) -> Result<(Vec<core::ops::Range<usize>>, Vec<ChunkEntry>), CompressError> {
+    let (chunk_size, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
+    pos += used;
+    let (n_chunks, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
+    pos += used;
+    let ranges = chunk_ranges(nnz, chunk_size as usize);
+    if ranges.len() != n_chunks as usize {
+        return Err(CompressError::Corrupt("chunk count mismatch"));
+    }
+    let mut entries: Vec<ChunkEntry> = Vec::with_capacity(ranges.len());
+    for range in &ranges {
+        let chunk_flags = *bytes.get(pos).ok_or(CompressError::Truncated)?;
+        pos += 1;
+        if chunk_flags != 0 {
+            return Err(CompressError::Corrupt("unknown chunk flag bits"));
+        }
+        let (count, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
+        pos += used;
+        if count as usize != range.len() {
+            return Err(CompressError::Corrupt("chunk element count mismatch"));
+        }
+        let (sel_bits, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
+        pos += used;
+        let (len, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
+        pos += used;
+        entries.push(ChunkEntry {
+            sel_bits,
+            offset: 0,
+            len: len as usize,
+        });
+    }
+    for entry in entries.iter_mut() {
+        entry.offset = pos;
+        pos = pos.checked_add(entry.len).ok_or(CompressError::Truncated)?;
+    }
+    if pos > bytes.len() {
+        return Err(CompressError::Truncated);
+    }
+    Ok((ranges, entries))
+}
+
+/// Decodes one era-2 chunk into a freshly allocated chunk-local buffer.
+fn decode_chunk_local(
+    bytes: &[u8],
+    entry: &ChunkEntry,
     reference: &[f64],
     maps: &StampMaps,
     params: &HeaderParams,
     range: core::ops::Range<usize>,
-) -> (Vec<u8>, CompressStats) {
-    let mut stats = CompressStats::new();
-    let chunk_start = range.start;
-    let mut w = BitWriter::with_capacity(range.len() / 2 + 16);
-    encode_range(
-        &mut w,
-        values,
+) -> Result<Vec<f64>, CompressError> {
+    let payload = bytes
+        .get(entry.offset..entry.offset + entry.len)
+        .ok_or(CompressError::Truncated)?;
+    let mut local = vec![0.0f64; range.len()];
+    decode_range_local(
+        payload,
+        entry.sel_bits,
+        &mut local,
         reference,
         maps,
         params,
         range,
-        chunk_start,
-        &mut stats,
-    );
-    (w.into_bytes(), stats)
+    )?;
+    Ok(local)
 }
 
-/// Decompresses a stream produced by [`compress_matrix_parallel`].
-///
-/// # Errors
-///
-/// Returns [`CompressError`] on truncation, header inconsistency, or
-/// checksum mismatch.
-pub fn decompress_matrix_parallel(
+/// Era-2 decode: chunk-local buffers, parallel across chunks, one serial
+/// scatter at the end.
+fn decompress_chunked_v2(
     bytes: &[u8],
     reference: &[f64],
     maps: &StampMaps,
     config: &MascConfig,
+    header: &ParsedHeader,
 ) -> Result<Vec<f64>, CompressError> {
     let nnz = maps.order().len();
-    if reference.len() != nnz {
-        return Err(CompressError::Corrupt("reference length != pattern nnz"));
+    let (ranges, entries) = parse_chunk_table(bytes, nnz, header.payload_offset)?;
+    let threads = config.threads.max(1).min(ranges.len().max(1));
+    let mut out = vec![0.0f64; nnz];
+    if threads <= 1 || ranges.len() <= 1 {
+        for (range, entry) in ranges.iter().zip(&entries) {
+            let local =
+                decode_chunk_local(bytes, entry, reference, maps, &header.params, range.clone())?;
+            for (off, p) in range.clone().enumerate() {
+                out[maps.order()[p]] = local[off];
+            }
+        }
+    } else {
+        // Same strided schedule as the encoder (worker t takes chunks
+        // t, t+T, t+2T, …) to spread skewed chunk costs. Workers also
+        // compute their chunks' checksum contributions, so the serial
+        // epilogue is just the scatter plus an XOR fold.
+        let want_checksum = header.expected_checksum.is_some();
+        type ChunkValues = Vec<(usize, Vec<f64>, u64)>;
+        let results: Vec<Result<ChunkValues, CompressError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for tid in 0..threads {
+                let ranges = &ranges;
+                let entries = &entries;
+                let params = &header.params;
+                handles.push(scope.spawn(move || {
+                    let mut locals = Vec::new();
+                    for i in (tid..ranges.len()).step_by(threads) {
+                        let local = decode_chunk_local(
+                            bytes,
+                            &entries[i],
+                            reference,
+                            maps,
+                            params,
+                            ranges[i].clone(),
+                        )?;
+                        let partial = if want_checksum {
+                            checksum_partial(&local, ranges[i].clone(), maps, nnz)
+                        } else {
+                            0
+                        };
+                        locals.push((i, local, partial));
+                    }
+                    Ok(locals)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    // Joining consumes a worker panic; surface it as a
+                    // structured decode error instead of unwinding.
+                    h.join()
+                        .unwrap_or(Err(CompressError::Corrupt("decode worker panicked")))
+                })
+                .collect()
+        });
+        let mut acc = 0u64;
+        for result in results {
+            for (i, local, partial) in result? {
+                acc ^= partial;
+                for (off, p) in ranges[i].clone().enumerate() {
+                    out[maps.order()[p]] = local[off];
+                }
+            }
+        }
+        if let Some(expected) = header.expected_checksum {
+            if acc != expected {
+                return Err(CompressError::ChecksumMismatch);
+            }
+        }
+        return Ok(out);
     }
-    let header = parse_header(bytes, nnz)?;
-    if !header.chunked {
-        return Err(CompressError::Corrupt(
-            "serial stream passed to the chunked decoder",
-        ));
+    if let Some(expected) = header.expected_checksum {
+        if checksum(&out) != expected {
+            return Err(CompressError::ChecksumMismatch);
+        }
     }
+    Ok(out)
+}
+
+/// One chunk's contribution to the whole-matrix chain checksum.
+///
+/// The chain `acc = rotl(acc, 1) ^ bits` is linear over XOR: the value
+/// landing at output index `idx` contributes `rotl(bits, nnz − 1 − idx)`
+/// to the final accumulator (rotation amounts wrap mod 64), so per-chunk
+/// partials can be computed concurrently and XOR-folded — bit-identical
+/// to the serial chain.
+fn checksum_partial(
+    local: &[f64],
+    range: core::ops::Range<usize>,
+    maps: &StampMaps,
+    nnz: usize,
+) -> u64 {
+    let mut acc = 0u64;
+    for (off, p) in range.enumerate() {
+        let idx = maps.order()[p];
+        acc ^= local[off]
+            .to_bits()
+            .rotate_left(((nnz - 1 - idx) % 64) as u32);
+    }
+    acc
+}
+
+/// Era-1 decode (legacy chained-chunk format): kept verbatim so streams
+/// minted before the per-chunk-header era stay readable.
+fn decompress_chunked_legacy(
+    bytes: &[u8],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+    header: &ParsedHeader,
+) -> Result<Vec<f64>, CompressError> {
+    let nnz = maps.order().len();
     let mut pos = header.payload_offset;
     let (chunk_size, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;
     pos += used;
@@ -168,7 +424,7 @@ pub fn decompress_matrix_parallel(
     let mut offsets = Vec::with_capacity(ranges.len());
     for &len in &lens {
         offsets.push(pos);
-        pos += len;
+        pos = pos.checked_add(len).ok_or(CompressError::Truncated)?;
     }
     if pos > bytes.len() {
         return Err(CompressError::Truncated);
@@ -189,12 +445,10 @@ pub fn decompress_matrix_parallel(
             )?;
         }
     } else {
-        // Workers decode into compact per-chunk buffers; scatter after.
+        // Workers decode into nnz-sized scratch buffers (the era-1 bit
+        // layout interleaves selections with residuals, so the chunk-local
+        // fast path cannot apply); compact and scatter after.
         let per = ranges.len().div_ceil(threads);
-        // `per` is rounded up, so spawning `threads` workers outright can
-        // leave trailing workers with an empty chunk range — each still
-        // allocating an nnz-sized scratch buffer for nothing (e.g. 4
-        // chunks over 3 threads: per = 2, worker 2 idles).
         let workers = ranges.len().div_ceil(per);
         type ChunkValues = Vec<(usize, Vec<f64>)>;
         let results: Vec<Result<ChunkValues, CompressError>> = std::thread::scope(|scope| {
@@ -229,8 +483,6 @@ pub fn decompress_matrix_parallel(
             handles
                 .into_iter()
                 .map(|h| {
-                    // Joining consumes a worker panic; surface it as a
-                    // structured decode error instead of unwinding.
                     h.join()
                         .unwrap_or(Err(CompressError::Corrupt("decode worker panicked")))
                 })
@@ -253,6 +505,42 @@ pub fn decompress_matrix_parallel(
     Ok(out)
 }
 
+/// Decompresses a chunked stream of either era.
+///
+/// # Errors
+///
+/// Returns [`CompressError`] on truncation, header inconsistency, or
+/// checksum mismatch.
+pub fn decompress_matrix_parallel(
+    bytes: &[u8],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> Result<Vec<f64>, CompressError> {
+    let nnz = maps.order().len();
+    if reference.len() != nnz {
+        return Err(CompressError::Corrupt("reference length != pattern nnz"));
+    }
+    let header = parse_header(bytes, nnz)?;
+    if !header.chunked {
+        return Err(CompressError::Corrupt(
+            "serial stream passed to the chunked decoder",
+        ));
+    }
+    let zeros;
+    let reference: &[f64] = if header.seeded {
+        zeros = vec![0.0f64; nnz];
+        &zeros
+    } else {
+        reference
+    };
+    if header.chunk_headers {
+        decompress_chunked_v2(bytes, reference, maps, config, &header)
+    } else {
+        decompress_chunked_legacy(bytes, reference, maps, config, &header)
+    }
+}
+
 fn decode_chunk_into(
     out: &mut [f64],
     payload: &[u8],
@@ -264,6 +552,109 @@ fn decode_chunk_into(
     let chunk_start = range.start;
     let mut r = BitReader::new(payload);
     decode_range(&mut r, out, reference, maps, params, range, chunk_start)
+}
+
+/// Per-chunk wall timings of one compress + decompress cycle.
+///
+/// Every chunk is executed *serially* and timed individually, so the
+/// numbers describe the true parallel work distribution independent of how
+/// many cores the measuring host happens to have. A scheduler can replay
+/// these timings to compute the critical-path makespan for any worker
+/// count — which is how the scaling benchmark reports thread scaling
+/// honestly from a single-core CI box.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixProfile {
+    /// Wall time to encode each chunk (independent units of work).
+    pub encode_chunk: Vec<Duration>,
+    /// Wall time to decode each chunk into its chunk-local buffer.
+    pub decode_chunk: Vec<Duration>,
+    /// Serial encode overhead: header write + stream assembly.
+    pub encode_serial: Duration,
+    /// Serial decode overhead: header/table parse + scatter + checksum.
+    pub decode_serial: Duration,
+    /// Size of the assembled era-2 stream.
+    pub compressed_bytes: usize,
+}
+
+/// Compresses and decompresses `values` once, timing each chunk serially.
+///
+/// # Errors
+///
+/// Returns [`CompressError`] if the freshly encoded stream fails to decode
+/// (which would be a codec bug, not an input property).
+///
+/// # Panics
+///
+/// Panics if `values.len()` or `reference.len()` differ from the pattern
+/// nnz.
+pub fn profile_matrix(
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> Result<MatrixProfile, CompressError> {
+    let nnz = maps.order().len();
+    assert_eq!(values.len(), nnz, "value count != pattern nnz");
+    assert_eq!(reference.len(), nnz, "reference count != pattern nnz");
+    let ranges = chunk_ranges(nnz, config.chunk_size);
+    let params = HeaderParams::from_config(config);
+    let mut profile = MatrixProfile::default();
+
+    // Encode: each chunk timed alone, assembly timed as serial overhead.
+    let mut encoded = Vec::with_capacity(ranges.len());
+    for range in &ranges {
+        let t0 = Instant::now();
+        let chunk = encode_chunk(values, reference, maps, &params, range.clone());
+        profile.encode_chunk.push(t0.elapsed());
+        encoded.push(chunk);
+    }
+    let t0 = Instant::now();
+    let mut stats = CompressStats::new();
+    let bytes = assemble_chunked(values, config, &ranges, &encoded, false, &mut stats);
+    profile.encode_serial = t0.elapsed();
+    profile.compressed_bytes = bytes.len();
+
+    // Decode: table parse + scatter + the checksum fold are serial; each
+    // chunk's local decode and checksum partial are an independent timed
+    // unit (exactly what one worker does in the parallel path).
+    let t0 = Instant::now();
+    let header = parse_header(&bytes, nnz)?;
+    let (dranges, entries) = parse_chunk_table(&bytes, nnz, header.payload_offset)?;
+    let want_checksum = header.expected_checksum.is_some();
+    let mut out = vec![0.0f64; nnz];
+    let mut acc = 0u64;
+    let mut decode_serial = t0.elapsed();
+    for (range, entry) in dranges.iter().zip(&entries) {
+        let t0 = Instant::now();
+        let local = decode_chunk_local(
+            &bytes,
+            entry,
+            reference,
+            maps,
+            &header.params,
+            range.clone(),
+        )?;
+        let partial = if want_checksum {
+            checksum_partial(&local, range.clone(), maps, nnz)
+        } else {
+            0
+        };
+        profile.decode_chunk.push(t0.elapsed());
+        let t0 = Instant::now();
+        acc ^= partial;
+        for (off, p) in range.clone().enumerate() {
+            out[maps.order()[p]] = local[off];
+        }
+        decode_serial += t0.elapsed();
+    }
+    let t0 = Instant::now();
+    if let Some(expected) = header.expected_checksum {
+        if acc != expected {
+            return Err(CompressError::ChecksumMismatch);
+        }
+    }
+    profile.decode_serial = decode_serial + t0.elapsed();
+    Ok(profile)
 }
 
 #[cfg(test)]
@@ -333,6 +724,58 @@ mod tests {
             ..MascConfig::default()
         };
         check(&config, 100);
+    }
+
+    #[test]
+    fn checksum_partials_fold_to_the_chain_checksum() {
+        let p = pattern(23, 2);
+        let maps = StampMaps::new(&p);
+        let nnz = p.nnz();
+        let vals = values(&p, 0.7);
+        // Decoded order: chunk elements land at maps.order()[p]; rebuild
+        // out and fold partials over awkward chunk boundaries.
+        let mut out = vec![0.0f64; nnz];
+        let mut acc = 0u64;
+        for range in chunk_ranges(nnz, 7) {
+            let local: Vec<f64> = range.clone().map(|pos| vals[maps.order()[pos]]).collect();
+            acc ^= checksum_partial(&local, range.clone(), &maps, nnz);
+            for (off, pos) in range.enumerate() {
+                out[maps.order()[pos]] = local[off];
+            }
+        }
+        assert_eq!(out, vals);
+        assert_eq!(acc, crate::matrix::checksum(&vals));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_parallel_checksum() {
+        let p = pattern(40, 2);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 1.0);
+        let reference = values(&p, 1.01);
+        let config = MascConfig {
+            chunk_size: 16,
+            threads: 4,
+            markov_min_warmup: 4,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix_parallel(&cur, &reference, &maps, &config);
+        // Flip one payload bit near the end (past the chunk table);
+        // either the decoder rejects the stream structurally or the
+        // XOR-folded checksum catches the damage — never a silent pass.
+        let mut bad = bytes.clone();
+        let idx = bad.len() - 3;
+        bad[idx] ^= 0x10;
+        if let Ok(out) = decompress_matrix_parallel(&bad, &reference, &maps, &config) {
+            // The flip may land in dead padding; then the values must be
+            // untouched. Different values with no error = silent corruption.
+            assert!(
+                cur.iter()
+                    .zip(&out)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "corrupted stream decoded to different values without a checksum error"
+            );
+        }
     }
 
     #[test]
@@ -465,5 +908,94 @@ mod tests {
         for (a, b) in cur.iter().zip(&out) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn seeded_stream_ignores_caller_reference() {
+        let p = pattern(24, 2);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 5.0);
+        let config = MascConfig {
+            chunk_size: 32,
+            markov_min_warmup: 4,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix_seeded(&cur, &maps, &config);
+        // Decoding against garbage references must still reproduce `cur`:
+        // the stream is self-referential.
+        for reference in [vec![0.0; p.nnz()], values(&p, 99.0)] {
+            let out = decompress_matrix_parallel(&bytes, &reference, &maps, &config).unwrap();
+            for (a, b) in cur.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_chunk_headers_error_not_panic() {
+        let p = pattern(30, 1);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 0.0);
+        let reference = values(&p, 0.01);
+        let config = MascConfig {
+            chunk_size: 16,
+            markov_min_warmup: 2,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix_parallel(&cur, &reference, &maps, &config);
+        // The chunk table sits right after the common header; flipping any
+        // single byte of the stream must never panic, only error or (for
+        // payload bits) be caught by the checksum.
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0xFF;
+            let _ = decompress_matrix_parallel(&mutated, &reference, &maps, &config);
+        }
+    }
+
+    #[test]
+    fn unknown_chunk_flag_bits_rejected() {
+        let p = pattern(20, 1);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 0.0);
+        let reference = values(&p, 0.01);
+        let config = MascConfig {
+            chunk_size: 16,
+            checksum: false,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix_parallel(&cur, &reference, &maps, &config);
+        let header = parse_header(&bytes, p.nnz()).unwrap();
+        // Skip [varint chunk_size][varint n_chunks] to the first per-chunk
+        // flag byte and set a bit there.
+        let mut pos = header.payload_offset;
+        let (_, used) = varint::read_u64(&bytes[pos..]).unwrap();
+        pos += used;
+        let (_, used) = varint::read_u64(&bytes[pos..]).unwrap();
+        pos += used;
+        let mut mutated = bytes.clone();
+        mutated[pos] = 0x01;
+        assert_eq!(
+            decompress_matrix_parallel(&mutated, &reference, &maps, &config),
+            Err(CompressError::Corrupt("unknown chunk flag bits"))
+        );
+    }
+
+    #[test]
+    fn profile_covers_every_chunk() {
+        let p = pattern(60, 2);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 1.0);
+        let reference = values(&p, 1.01);
+        let config = MascConfig {
+            chunk_size: 50,
+            markov_min_warmup: 4,
+            ..MascConfig::default()
+        };
+        let n_chunks = p.nnz().div_ceil(50);
+        let profile = profile_matrix(&cur, &reference, &maps, &config).unwrap();
+        assert_eq!(profile.encode_chunk.len(), n_chunks);
+        assert_eq!(profile.decode_chunk.len(), n_chunks);
+        assert!(profile.compressed_bytes > 0);
     }
 }

@@ -250,6 +250,60 @@ impl StampMaps {
         }
     }
 
+    /// [`candidates`](Self::candidates) over a *chunk-local* value buffer.
+    ///
+    /// `local[p - chunk_start]` holds the decoded value of order position
+    /// `p`; only positions in `chunk_start..my_pos` are ever read, so a
+    /// parallel decoder can give each chunk a buffer of exactly the chunk's
+    /// length instead of an nnz-sized scratch matrix — the allocation that
+    /// made the original chunked decoder effectively serial.
+    #[inline]
+    pub fn candidates_local(
+        &self,
+        k: usize,
+        reference: &[f64],
+        local: &[f64],
+        sign_invert: bool,
+        chunk_start: usize,
+    ) -> [f64; 4] {
+        debug_assert!(k < self.region.len(), "k must be a value index");
+        let temporal = reference[k];
+        let s = if sign_invert { -1.0 } else { 1.0 };
+        let my_pos = self.order_pos[k];
+        let (transpose, diag_row, diag_col, prev_same) = (
+            self.transpose[k],
+            self.diag_row[k],
+            self.diag_col[k],
+            self.prev_same[k],
+        );
+        let fetch_cur = |idx: usize, scale: f64| -> f64 {
+            if idx == NONE {
+                return temporal;
+            }
+            let pos = self.order_pos[idx];
+            if pos < chunk_start || pos >= my_pos {
+                temporal
+            } else {
+                scale * local[pos - chunk_start]
+            }
+        };
+        match self.region[k] {
+            Region::Upper => [
+                temporal,
+                fetch_cur(transpose, 1.0),
+                fetch_cur(diag_row, s),
+                fetch_cur(diag_col, s),
+            ],
+            Region::Lower => [
+                temporal,
+                fetch_cur(diag_row, s),
+                fetch_cur(diag_col, s),
+                fetch_cur(prev_same, 1.0),
+            ],
+            Region::Diag => [temporal, fetch_cur(prev_same, 1.0), temporal, temporal],
+        }
+    }
+
     /// Maps a (region, selection-code) pair to the aggregate model class
     /// reported in paper Fig. 6.
     pub fn model_class(region: Region, code: u32) -> ModelClass {
@@ -451,6 +505,33 @@ mod tests {
         assert_eq!(c[1], 7.0);
         assert_eq!(c[2], 7.0);
         assert_eq!(c[3], -20.0);
+    }
+
+    #[test]
+    fn local_candidates_agree_with_global() {
+        let (p, m) = tridiag();
+        let reference: Vec<f64> = (0..p.nnz()).map(|k| 10.0 + k as f64).collect();
+        let current: Vec<f64> = (0..p.nnz()).map(|k| 100.0 + 3.0 * k as f64).collect();
+        // Whole matrix as one chunk: local is the order-gathered current.
+        let local: Vec<f64> = m.order().iter().map(|&k| current[k]).collect();
+        for &k in m.order() {
+            assert_eq!(
+                m.candidates(k, &reference, &current, true, 0),
+                m.candidates_local(k, &reference, &local, true, 0),
+                "value {k}"
+            );
+        }
+        // Chunked: a chunk starting mid-order sees only its own span.
+        let start = 3;
+        let local_chunk: Vec<f64> = m.order()[start..].iter().map(|&k| current[k]).collect();
+        for (off, &k) in m.order()[start..].iter().enumerate() {
+            let _ = off;
+            assert_eq!(
+                m.candidates(k, &reference, &current, true, start),
+                m.candidates_local(k, &reference, &local_chunk, true, start),
+                "value {k} at chunk_start {start}"
+            );
+        }
     }
 
     #[test]

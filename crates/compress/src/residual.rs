@@ -85,6 +85,79 @@ pub fn encode_residual(
     });
 }
 
+/// Encodes a whole run of residuals using precomputed lane classifications.
+///
+/// Bit-exact equivalent of calling [`encode_residual`] once per element —
+/// the unit and property tests cross-check the two — but structured for
+/// throughput: runs of zero residuals are emitted as batched one-bits (up
+/// to 64 per write) and the leading/trailing-zero counts come from
+/// [`crate::lanes::classify_residuals`] instead of per-element scalar
+/// intrinsics inside the bit loop.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ (caller bug: all three derive from
+/// one chunk range).
+pub fn encode_residuals_batched(
+    w: &mut BitWriter,
+    state: &mut ResidualState,
+    residuals: &[u64],
+    lz: &[u8],
+    tz: &[u8],
+    stats: &mut CompressStats,
+) {
+    assert_eq!(residuals.len(), lz.len(), "lz length mismatch");
+    assert_eq!(residuals.len(), tz.len(), "tz length mismatch");
+    let mut i = 0usize;
+    while i < residuals.len() {
+        if residuals[i] == 0 {
+            // A run of n zero residuals is n consecutive `1` bits.
+            let start = i;
+            while i < residuals.len() && residuals[i] == 0 {
+                i += 1;
+            }
+            let mut run = i - start;
+            stats.zero_residuals += run as u64;
+            while run >= 64 {
+                w.write_bits(u64::MAX, 64);
+                run -= 64;
+            }
+            if run > 0 {
+                w.write_bits(u64::MAX >> (64 - run), run as u32);
+            }
+            continue;
+        }
+        let residual = residuals[i];
+        w.write_bit(false);
+        let lzi = u32::from(lz[i]);
+        let tzi = u32::from(tz[i]);
+        let class = (lzi / 8).min(7);
+        stats.lz_class_histogram[class as usize] += 1;
+        let eff_lz = class * 8;
+        if let Some(win) = state.window {
+            if lzi >= win.eff_lz && tzi >= win.start && 64 - win.eff_lz >= tzi + (64 - lzi - tzi) {
+                w.write_bit(true);
+                w.write_bits(residual >> win.start, win.len);
+                stats.shared_windows += 1;
+                i += 1;
+                continue;
+            }
+        }
+        w.write_bit(false);
+        let sig_len = 64 - eff_lz - tzi;
+        debug_assert!((1..=64).contains(&sig_len));
+        w.write_bits(u64::from(class), 3);
+        w.write_bits(u64::from(sig_len - 1), 6);
+        w.write_bits(residual >> tzi, sig_len);
+        state.window = Some(ResidualWindow {
+            eff_lz,
+            len: sig_len,
+            start: tzi,
+        });
+        i += 1;
+    }
+}
+
 /// Errors from residual decoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResidualError {
@@ -94,6 +167,13 @@ pub enum ResidualError {
     /// the stream is corrupt (the encoder never emits this).
     OrphanSharedWindow {
         /// Bit position of the offending flag.
+        bit_pos: usize,
+    },
+    /// A fresh-window code claimed a leading-zero class and significant
+    /// length that together exceed 64 bits — impossible output of a valid
+    /// encoder, so the stream is corrupt.
+    ImpossibleWindow {
+        /// Bit position of the offending code.
         bit_pos: usize,
     },
 }
@@ -107,6 +187,9 @@ impl std::fmt::Display for ResidualError {
                     f,
                     "shared-window flag with no prior window at bit {bit_pos}"
                 )
+            }
+            ResidualError::ImpossibleWindow { bit_pos } => {
+                write!(f, "residual window wider than 64 bits at bit {bit_pos}")
             }
         }
     }
@@ -144,7 +227,13 @@ pub fn decode_residual(
     let sig_len = r.read_bits(6)? as u32 + 1;
     let bits = r.read_bits(sig_len)?;
     let eff_lz = class * 8;
-    let start = 64 - eff_lz - sig_len;
+    // A valid encoder guarantees eff_lz + sig_len <= 64; a hostile stream
+    // can claim class 7 with sig_len 64, which would underflow `start`.
+    let start = 64u32
+        .checked_sub(eff_lz + sig_len)
+        .ok_or(ResidualError::ImpossibleWindow {
+            bit_pos: r.bit_pos(),
+        })?;
     state.window = Some(ResidualWindow {
         eff_lz,
         len: sig_len,
@@ -263,6 +352,67 @@ mod tests {
     fn full_width_residual_round_trips() {
         // class 0, sig_len 64 exercises the 6-bit length field's maximum.
         round_trip(&[0x8000_0000_0000_0001, u64::MAX, 0xAAAA_AAAA_AAAA_AAAB]);
+    }
+
+    fn scalar_bytes(residuals: &[u64]) -> (Vec<u8>, CompressStats) {
+        let mut stats = CompressStats::new();
+        let mut w = BitWriter::new();
+        let mut st = ResidualState::new();
+        for &res in residuals {
+            encode_residual(&mut w, &mut st, res, &mut stats);
+        }
+        (w.into_bytes(), stats)
+    }
+
+    fn batched_bytes(residuals: &[u64]) -> (Vec<u8>, CompressStats) {
+        let mut lz = vec![0u8; residuals.len()];
+        let mut tz = vec![0u8; residuals.len()];
+        crate::lanes::classify_residuals(residuals, &mut lz, &mut tz);
+        let mut stats = CompressStats::new();
+        let mut w = BitWriter::new();
+        let mut st = ResidualState::new();
+        encode_residuals_batched(&mut w, &mut st, residuals, &lz, &tz, &mut stats);
+        (w.into_bytes(), stats)
+    }
+
+    fn assert_batched_matches_scalar(residuals: &[u64]) {
+        let (sb, ss) = scalar_bytes(residuals);
+        let (bb, bs) = batched_bytes(residuals);
+        assert_eq!(sb, bb, "byte streams diverge for {residuals:?}");
+        assert_eq!(ss.zero_residuals, bs.zero_residuals);
+        assert_eq!(ss.shared_windows, bs.shared_windows);
+        assert_eq!(ss.lz_class_histogram, bs.lz_class_histogram);
+    }
+
+    #[test]
+    fn batched_encoder_matches_scalar_bit_exactly() {
+        assert_batched_matches_scalar(&[]);
+        assert_batched_matches_scalar(&[0]);
+        assert_batched_matches_scalar(&[
+            0,
+            1,
+            u64::MAX,
+            1 << 63,
+            0xFF00,
+            0,
+            0,
+            0x8000_0000_0000_0001,
+            3,
+            0xDEAD_BEEF,
+        ]);
+        // Shared-window heavy stream.
+        assert_batched_matches_scalar(&vec![0x0000_0000_00FF_0000u64; 50]);
+    }
+
+    #[test]
+    fn batched_encoder_matches_scalar_on_long_zero_runs() {
+        // Runs straddling the 64-bit batching boundary: 63, 64, 65, 200.
+        for run in [63usize, 64, 65, 200] {
+            let mut residuals = vec![0u64; run];
+            residuals.push(0xABCD);
+            residuals.extend_from_slice(&[0; 3]);
+            assert_batched_matches_scalar(&residuals);
+        }
     }
 
     #[test]

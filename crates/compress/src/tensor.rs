@@ -8,8 +8,10 @@
 //! consumes them — freeing each compressed block as it is expanded.
 
 use crate::config::MascConfig;
-use crate::matrix::{compress_matrix, decompress_matrix};
-use crate::parallel::{compress_matrix_parallel, decompress_matrix_parallel};
+use crate::matrix::{decompress_matrix, FLAG_CHUNKED, FLAG_SEEDED};
+use crate::parallel::{
+    compress_matrix_parallel, compress_matrix_seeded, decompress_matrix_parallel,
+};
 use crate::predictor::StampMaps;
 use crate::stats::CompressStats;
 use crate::CompressError;
@@ -24,11 +26,14 @@ fn compress_dispatch(
     maps: &StampMaps,
     config: &MascConfig,
 ) -> (Vec<u8>, CompressStats) {
-    if config.threads > 1 {
-        compress_matrix_parallel(values, reference, maps, config)
-    } else {
-        compress_matrix(values, reference, maps, config)
-    }
+    compress_matrix_parallel(values, reference, maps, config)
+}
+
+/// Whether a compressed block carries the seed flag (self-referential: it
+/// decodes without a temporal predecessor). The flag byte is the stream's
+/// first byte in every era.
+fn is_seeded_block(bytes: &[u8]) -> bool {
+    bytes.first().is_some_and(|f| f & FLAG_SEEDED != 0)
 }
 
 fn decompress_dispatch(
@@ -37,7 +42,10 @@ fn decompress_dispatch(
     maps: &StampMaps,
     config: &MascConfig,
 ) -> Result<Vec<f64>, CompressError> {
-    if config.threads > 1 {
+    // Dispatch on the stream itself, not on the config: a tensor may mix
+    // serial-era blocks (old persisted data) with chunked blocks.
+    let chunked = bytes.first().is_some_and(|f| f & FLAG_CHUNKED != 0);
+    if chunked {
         decompress_matrix_parallel(bytes, reference, maps, config)
     } else {
         decompress_matrix(bytes, reference, maps)
@@ -54,6 +62,17 @@ pub fn encode_block(
     config: &MascConfig,
 ) -> (Vec<u8>, CompressStats) {
     compress_dispatch(values, reference, maps, config)
+}
+
+/// Compresses one matrix as a *seed* block: self-referential, decodable
+/// without a temporal predecessor. Tensor chains restart at seed blocks,
+/// which is what makes groups of blocks independently decodable.
+pub fn encode_seed_block(
+    values: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> (Vec<u8>, CompressStats) {
+    compress_matrix_seeded(values, maps, config)
 }
 
 /// Decodes one compressed block against `reference` (the newest block of a
@@ -143,12 +162,26 @@ impl TensorCompressor {
         );
         let prev = self.pending.replace(values.to_vec());
         if let (Some(prev), Some(newest)) = (prev, self.pending.as_ref()) {
+            let t = self.blocks.len();
             let start = Instant::now();
-            let (bytes, stats) = compress_dispatch(&prev, newest, &self.maps, &self.config);
+            let (bytes, stats) = if self.config.is_seed_step(t) {
+                compress_matrix_seeded(&prev, &self.maps, &self.config)
+            } else {
+                compress_dispatch(&prev, newest, &self.maps, &self.config)
+            };
             self.compress_time += start.elapsed();
             self.stats.merge(&stats);
             self.blocks.push(bytes);
         }
+    }
+
+    /// Appends a block that was encoded out-of-band (a pipelined store's
+    /// worker pool). The caller guarantees the block was produced by
+    /// [`encode_block`] against the values of step `sealed_len() + 1` — or
+    /// by [`encode_seed_block`] — with this compressor's config.
+    pub fn push_encoded(&mut self, bytes: Vec<u8>, stats: &CompressStats) {
+        self.stats.merge(stats);
+        self.blocks.push(bytes);
     }
 
     /// Number of matrices pushed so far.
@@ -206,9 +239,8 @@ impl TensorCompressor {
     /// when nothing is pending.
     pub fn seal(&mut self) {
         if let Some(last) = self.pending.take() {
-            let zeros = vec![0.0; self.pattern.nnz()];
             let start = Instant::now();
-            let (bytes, stats) = compress_dispatch(&last, &zeros, &self.maps, &self.config);
+            let (bytes, stats) = compress_matrix_seeded(&last, &self.maps, &self.config);
             self.compress_time += start.elapsed();
             self.stats.merge(&stats);
             self.blocks.push(bytes);
@@ -287,20 +319,82 @@ impl CompressedTensor {
         &self.pattern
     }
 
+    /// The compressed bytes of block `t`, if it exists.
+    pub fn block(&self, t: usize) -> Option<&[u8]> {
+        self.blocks.get(t).map(Vec::as_slice)
+    }
+
+    /// Decodes blocks `start..=end` newest-first, with the group's newest
+    /// block decoded against a zero reference (it is either a seed block —
+    /// which ignores the reference — or the tensor's final block, whose
+    /// chain was sealed against zeros). Returns values oldest-first.
+    fn decode_group(&self, start: usize, end: usize) -> Result<Vec<Vec<f64>>, CompressError> {
+        let mut out = Vec::new();
+        let mut reference = vec![0.0; self.pattern.nnz()];
+        for t in (start..=end).rev() {
+            let values =
+                decompress_dispatch(&self.blocks[t], &reference, &self.maps, &self.config)?;
+            reference.copy_from_slice(&values);
+            out.push(values);
+        }
+        out.reverse();
+        Ok(out)
+    }
+
+    /// Indices of blocks that end an independently decodable group: every
+    /// seed block, plus the final block (whose chain roots in zeros).
+    fn group_ends(&self) -> Vec<usize> {
+        let mut ends: Vec<usize> = (0..self.blocks.len())
+            .filter(|&t| is_seeded_block(&self.blocks[t]))
+            .collect();
+        if ends.last() != Some(&(self.blocks.len() - 1)) {
+            ends.push(self.blocks.len() - 1);
+        }
+        ends
+    }
+
     /// Decompresses every matrix, oldest first (testing/inspection; peak
     /// memory is the whole tensor).
+    ///
+    /// Seed blocks split the reference chain into independent groups; with
+    /// `config.threads > 1` the groups decode concurrently.
     ///
     /// # Errors
     ///
     /// Returns [`CompressError`] if any block fails to decode.
     pub fn decompress_all(&self) -> Result<Vec<Vec<f64>>, CompressError> {
-        let mut out = vec![Vec::new(); self.blocks.len()];
-        let mut reference = vec![0.0; self.pattern.nnz()];
-        for t in (0..self.blocks.len()).rev() {
-            let values =
-                decompress_dispatch(&self.blocks[t], &reference, &self.maps, &self.config)?;
-            reference.copy_from_slice(&values);
-            out[t] = values;
+        if self.blocks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ends = self.group_ends();
+        let mut starts = Vec::with_capacity(ends.len());
+        let mut prev = 0usize;
+        for &end in &ends {
+            starts.push(prev);
+            prev = end + 1;
+        }
+        let mut out = Vec::with_capacity(self.blocks.len());
+        if self.config.threads > 1 && ends.len() > 1 {
+            let groups: Vec<Result<Vec<Vec<f64>>, CompressError>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (&start, &end) in starts.iter().zip(&ends) {
+                    handles.push(scope.spawn(move || self.decode_group(start, end)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or(Err(CompressError::Corrupt("decode worker panicked")))
+                    })
+                    .collect()
+            });
+            for group in groups {
+                out.extend(group?);
+            }
+        } else {
+            for (&start, &end) in starts.iter().zip(&ends) {
+                out.extend(self.decode_group(start, end)?);
+            }
         }
         Ok(out)
     }

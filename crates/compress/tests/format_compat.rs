@@ -1,0 +1,173 @@
+//! Wire-format backward compatibility: golden v1 streams, minted by the
+//! pre-chunk-header encoder, must keep decoding bit-exactly forever.
+//!
+//! The fixture inputs are regenerated in-test from a fixed LCG (no
+//! transcendentals, so the values are reproducible to the bit on any
+//! platform); the compressed fixtures under `tests/corpus_v1/` are frozen
+//! artifacts of the era-1 encoder and must never be regenerated.
+
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
+use masc_compress::{
+    decompress_matrix, decompress_matrix_parallel, CompressedTensor, MascConfig, StampMaps,
+};
+use masc_sparse::{Pattern, TripletMatrix};
+use std::sync::Arc;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Deterministic Jacobian-like values: sign structure plus a small wobble
+/// derived from integer arithmetic only.
+fn jac_values(nnz: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed;
+    (0..nnz)
+        .map(|k| {
+            let wob = ((lcg(&mut s) >> 11) as f64) / (1u64 << 53) as f64;
+            let sign = if k % 5 == 0 { 2.0 } else { -1.0 };
+            sign * 1e-3 * (1.0 + 1e-4 * wob)
+        })
+        .collect()
+}
+
+fn banded_pattern(n: usize, band: usize) -> Arc<Pattern> {
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n {
+        for j in i.saturating_sub(band)..(i + band + 1).min(n) {
+            t.add(i, j, 1.0);
+        }
+    }
+    t.to_csr().pattern().clone()
+}
+
+fn empty_pattern() -> Arc<Pattern> {
+    TripletMatrix::new(0, 0).to_csr().pattern().clone()
+}
+
+/// The fixed input corpus: (pattern, current values, reference values).
+fn matrix_inputs() -> (Arc<Pattern>, Vec<f64>, Vec<f64>) {
+    let p = banded_pattern(40, 2);
+    let cur = jac_values(p.nnz(), 0x4D41_5343_0001);
+    let reference = jac_values(p.nnz(), 0x4D41_5343_0002);
+    (p, cur, reference)
+}
+
+/// The fixed tensor series: 6 steps over a 25-node tridiagonal pattern.
+fn tensor_inputs() -> (Arc<Pattern>, Vec<Vec<f64>>) {
+    let p = banded_pattern(25, 1);
+    let series = (0..6u64)
+        .map(|s| jac_values(p.nnz(), 0x7454_0000 + s))
+        .collect();
+    (p, series)
+}
+
+// Minting configs (era-1 encoder, recorded for posterity):
+// - serial_default.bin       MascConfig::default()
+// - serial_nomarkov.bin      markov off, checksum off
+// - chunked_{17,1,huge}.bin  chunked_cfg(17 / 1 / 1<<20)
+// - chunked_empty.bin        chunked_cfg(8), empty pattern
+// - tensor_serial.bin        MascConfig::default()
+// - tensor_chunked.bin       chunk_size 32, threads 2, min_warmup 4
+fn chunked_cfg(chunk_size: usize) -> MascConfig {
+    MascConfig {
+        chunk_size,
+        markov_min_warmup: 4,
+        ..MascConfig::default()
+    }
+}
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus_v1")
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = corpus_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+fn assert_bits_eq(decoded: &[f64], expected: &[f64]) {
+    assert_eq!(decoded.len(), expected.len());
+    for (i, (a, b)) in decoded.iter().zip(expected).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "value {i} differs");
+    }
+}
+
+#[test]
+fn v1_serial_fixtures_decode_bit_exact() {
+    let (p, cur, reference) = matrix_inputs();
+    let maps = StampMaps::new(&p);
+    for name in ["serial_default.bin", "serial_nomarkov.bin"] {
+        let out = decompress_matrix(&fixture(name), &reference, &maps)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_bits_eq(&out, &cur);
+    }
+}
+
+#[test]
+fn v1_chunked_fixtures_decode_bit_exact() {
+    let (p, cur, reference) = matrix_inputs();
+    let maps = StampMaps::new(&p);
+    for (name, chunk) in [
+        ("chunked_17.bin", 17usize),
+        ("chunked_1.bin", 1),
+        ("chunked_huge.bin", 1 << 20),
+    ] {
+        // Decode with several thread counts: the stream fixes the chunk
+        // grid, so the decoder config's chunk_size must not matter.
+        for threads in [1usize, 4] {
+            let cfg = MascConfig {
+                threads,
+                ..chunked_cfg(chunk)
+            };
+            let out = decompress_matrix_parallel(&fixture(name), &reference, &maps, &cfg)
+                .unwrap_or_else(|e| panic!("{name} (threads {threads}): {e}"));
+            assert_bits_eq(&out, &cur);
+        }
+    }
+}
+
+#[test]
+fn v1_empty_chunked_fixture_decodes() {
+    let ep = empty_pattern();
+    let emaps = StampMaps::new(&ep);
+    let out =
+        decompress_matrix_parallel(&fixture("chunked_empty.bin"), &[], &emaps, &chunked_cfg(8))
+            .unwrap();
+    assert!(out.is_empty());
+}
+
+#[test]
+fn v1_tensor_fixtures_decode_bit_exact() {
+    let (_, series) = tensor_inputs();
+    for name in ["tensor_serial.bin", "tensor_chunked.bin"] {
+        let tensor =
+            CompressedTensor::from_bytes(&fixture(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(tensor.len(), series.len(), "{name}");
+        let all = tensor
+            .decompress_all()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (step, (a, b)) in all.iter().zip(&series).enumerate() {
+            assert_bits_eq(a, b);
+            let _ = step;
+        }
+    }
+}
+
+#[test]
+fn v1_truncated_fixtures_error_not_panic() {
+    let (p, _, reference) = matrix_inputs();
+    let maps = StampMaps::new(&p);
+    let bytes = fixture("chunked_17.bin");
+    for cut in [0, 1, 2, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            decompress_matrix_parallel(&bytes[..cut], &reference, &maps, &chunked_cfg(17)).is_err(),
+            "cut {cut} should fail"
+        );
+    }
+}

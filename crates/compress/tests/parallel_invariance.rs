@@ -1,0 +1,213 @@
+//! Thread-count invariance of the chunked codec (ISSUE 6 satellite).
+//!
+//! The era-2 format's whole point is that chunks are independent units of
+//! work: the *schedule* (how many workers, which worker takes which chunk)
+//! must never leak into the bytes or the decoded values. These properties
+//! pin that down across adversarial chunk sizes — including `0` (clamped
+//! to 1), `1` (maximal chunk count), `nnz` (exactly one chunk), and
+//! `nnz + 1` (one chunk with slack) — for threads ∈ {1, 2, 4, 8}.
+//!
+//! Failures replay with `MASC_PROP_REPRO` (masc-testkit seed replay).
+
+// Tests may assert with unwrap/expect; the crate's clippy.toml bans them
+// in shipping code only (masc-lint rule R1).
+#![allow(clippy::disallowed_methods)]
+
+use masc_compress::{
+    compress_matrix_parallel, compress_matrix_seeded, decompress_matrix_parallel, MascConfig,
+    StampMaps, TensorCompressor,
+};
+use masc_sparse::{Pattern, TripletMatrix};
+use masc_testkit::gen::{self, Gen};
+use masc_testkit::{prop, prop_assert, prop_assert_eq};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn patterns() -> impl Gen<Value = Arc<Pattern>> {
+    gen::sparse_coords(2..16, 60).map(|(n, coords)| {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.add(i, i, 0.0);
+        }
+        for (r, c) in coords {
+            t.add(r, c, 0.0);
+        }
+        t.to_csr().pattern().clone()
+    })
+}
+
+fn values(nnz: usize) -> impl Gen<Value = Vec<f64>> {
+    gen::vecs(gen::f64_payloads(), nnz..nnz + 1)
+}
+
+/// The adversarial chunk sizes the issue calls out: degenerate (0 → clamped
+/// to 1), single-element chunks, exactly-one-chunk, and one-chunk-with-slack.
+fn adversarial_chunk_sizes(nnz: usize) -> [usize; 4] {
+    [0, 1, nnz, nnz + 1]
+}
+
+prop! {
+    #![cases = 48]
+
+    /// Compressed output AND decoded values are byte-identical for every
+    /// thread count, at every adversarial chunk size.
+    fn stream_and_values_invariant_under_thread_count(
+        (pattern, values, reference) in patterns().flat_map(|p| {
+            let nnz = p.nnz();
+            (gen::just(p), values(nnz), values(nnz))
+        })
+    ) {
+        let maps = StampMaps::new(&pattern);
+        for chunk_size in adversarial_chunk_sizes(pattern.nnz()) {
+            let base = MascConfig {
+                chunk_size,
+                threads: 1,
+                markov_min_warmup: 4,
+                ..MascConfig::default()
+            };
+            let (baseline_bytes, _) =
+                compress_matrix_parallel(&values, &reference, &maps, &base);
+            let baseline_out =
+                decompress_matrix_parallel(&baseline_bytes, &reference, &maps, &base).unwrap();
+            for (a, b) in values.iter().zip(&baseline_out) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for threads in THREAD_COUNTS {
+                let config = MascConfig { threads, ..base.clone() };
+                let (bytes, _) = compress_matrix_parallel(&values, &reference, &maps, &config);
+                prop_assert_eq!(
+                    &bytes, &baseline_bytes,
+                    "chunk_size={} threads={} changed the stream", chunk_size, threads
+                );
+                // Decode the one canonical stream under every worker count.
+                let out =
+                    decompress_matrix_parallel(&baseline_bytes, &reference, &maps, &config)
+                        .unwrap();
+                prop_assert_eq!(
+                    baseline_out.len(), out.len(),
+                    "chunk_size={} threads={} changed the length", chunk_size, threads
+                );
+                for (a, b) in baseline_out.iter().zip(&out) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Seed blocks (all-zero reference, FLAG_SEEDED) obey the same
+    /// invariance, and decode identically no matter what reference the
+    /// caller supplies.
+    fn seeded_stream_invariant_under_thread_count(
+        (pattern, values, garbage_reference) in patterns().flat_map(|p| {
+            let nnz = p.nnz();
+            (gen::just(p), values(nnz), values(nnz))
+        })
+    ) {
+        let maps = StampMaps::new(&pattern);
+        for chunk_size in adversarial_chunk_sizes(pattern.nnz()) {
+            let base = MascConfig {
+                chunk_size,
+                threads: 1,
+                markov_min_warmup: 4,
+                ..MascConfig::default()
+            };
+            let (baseline_bytes, _) = compress_matrix_seeded(&values, &maps, &base);
+            for threads in THREAD_COUNTS {
+                let config = MascConfig { threads, ..base.clone() };
+                let (bytes, _) = compress_matrix_seeded(&values, &maps, &config);
+                prop_assert_eq!(&bytes, &baseline_bytes);
+                let out = decompress_matrix_parallel(
+                    &baseline_bytes,
+                    &garbage_reference,
+                    &maps,
+                    &config,
+                )
+                .unwrap();
+                for (a, b) in values.iter().zip(&out) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Tensor level: seed intervals split the chain into groups, and the
+    /// grouped (possibly parallel) decode must reproduce the series
+    /// bit-exactly with identical block bytes for every thread count.
+    fn tensor_blocks_invariant_under_thread_count(
+        (pattern, series, seed_interval) in patterns().flat_map(|p| {
+            let nnz = p.nnz();
+            (
+                gen::just(p),
+                gen::vecs(values(nnz), 1..7),
+                gen::range_usize(0, 4),
+            )
+        })
+    ) {
+        let mk = |threads: usize| MascConfig {
+            chunk_size: 16,
+            threads,
+            markov_min_warmup: 4,
+            seed_interval,
+            ..MascConfig::default()
+        };
+        let mut baseline_blocks: Option<Vec<Vec<u8>>> = None;
+        for threads in THREAD_COUNTS {
+            let mut tc = TensorCompressor::new(pattern.clone(), mk(threads));
+            for m in &series {
+                tc.push(m);
+            }
+            let tensor = tc.finish();
+            let blocks: Vec<Vec<u8>> = (0..tensor.len())
+                .map(|t| tensor.block(t).unwrap().to_vec())
+                .collect();
+            match &baseline_blocks {
+                None => baseline_blocks = Some(blocks),
+                Some(base) => prop_assert_eq!(
+                    base, &blocks,
+                    "threads={} changed tensor block bytes", threads
+                ),
+            }
+            let all = tensor.decompress_all().unwrap();
+            prop_assert_eq!(all.len(), series.len());
+            for (want, got) in series.iter().zip(&all) {
+                for (a, b) in want.iter().zip(got) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Every block a positive seed interval marks as a seed really is
+    /// self-referential (first-byte flag), and the final block always is.
+    fn seed_interval_marks_the_right_blocks(
+        (pattern, series, seed_interval) in patterns().flat_map(|p| {
+            let nnz = p.nnz();
+            (
+                gen::just(p),
+                gen::vecs(values(nnz), 2..8),
+                gen::range_usize(1, 4),
+            )
+        })
+    ) {
+        let config = MascConfig {
+            chunk_size: 16,
+            markov_min_warmup: 4,
+            seed_interval,
+            ..MascConfig::default()
+        };
+        let mut tc = TensorCompressor::new(pattern, config.clone());
+        for m in &series {
+            tc.push(m);
+        }
+        let tensor = tc.finish();
+        const FLAG_SEEDED: u8 = 1 << 4;
+        for t in 0..tensor.len() {
+            let block = tensor.block(t).unwrap();
+            let seeded = block[0] & FLAG_SEEDED != 0;
+            let expect = config.is_seed_step(t) || t == tensor.len() - 1;
+            prop_assert_eq!(seeded, expect, "block {} seed flag", t);
+        }
+        prop_assert!(tensor.decompress_all().is_ok());
+    }
+}

@@ -49,6 +49,8 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(oracles::baselines::BaselineDecode),
         Box::new(oracles::tensor::TensorRoundtrip),
         Box::new(oracles::tensor::TensorDecode),
+        Box::new(oracles::matrix::ChunkedRoundtrip),
+        Box::new(oracles::matrix::ChunkedHeaderDecode),
         Box::new(oracles::cache::CacheDecode),
         Box::new(oracles::parser::ParserRoundtrip),
         Box::new(oracles::store::StoreEquivalence),

@@ -3,6 +3,7 @@
 pub mod baselines;
 pub mod cache;
 pub mod codec;
+pub mod matrix;
 pub mod parser;
 pub mod store;
 pub mod tensor;

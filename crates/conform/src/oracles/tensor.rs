@@ -52,6 +52,9 @@ fn decode_case(input: &[u8]) -> Option<TensorCase> {
         checksum: flags & 4 != 0,
         chunk_size,
         threads,
+        // Seed intervals split the block chain into independently
+        // decodable groups — the era-2 parallel-decode seam.
+        seed_interval: (usize::from(flags) >> 5) & 3,
         ..MascConfig::default()
     };
     // Values come from the remaining payload, cycled so every input

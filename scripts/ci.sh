@@ -18,5 +18,9 @@ run cargo run -q --offline --release -p masc-lint
 run cargo test -q --offline -p masc-lint
 run cargo test -q --offline --workspace
 run cargo run -q --offline --release -p masc-conform -- --budget 30 --seed 4
+# Thread-scaling regression gate: quick sweep, modeled 4-thread compress
+# speedup must hold (chunk independence / serial-section regression check).
+run cargo run -q --offline --release -p masc-bench --bin scaling -- \
+    --quick --json BENCH_scaling.json --gate 2.5
 
 echo "==> ci: all checks passed"
