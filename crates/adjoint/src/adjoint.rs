@@ -26,8 +26,8 @@
 
 use crate::objective::Objective;
 use crate::store::{BackwardJacobians, RunMeta, StepMatrices, StoreError, StoreMetrics};
-use masc_circuit::{Circuit, ParamRef, System};
-use masc_sparse::{CsrMatrix, LuError, LuFactors};
+use masc_circuit::{Circuit, Evaluation, ParamRef, System};
+use masc_sparse::{CsrMatrix, LuError, LuWorkspace};
 use std::time::{Duration, Instant};
 
 /// Errors from the adjoint pass.
@@ -114,167 +114,273 @@ pub fn adjoint_sensitivities(
     if meta.times.is_empty() {
         return Err(AdjointError::EmptyRecord);
     }
-    let run_start = Instant::now();
-    let n = system.n;
-    let n_steps = meta.times.len() - 1;
-    let n_obj = objectives.len();
-    let n_par = params.len();
-    let mut stats = AdjointStats::default();
-
-    let mut dodp = vec![vec![0.0f64; n_par]; n_obj];
-
-    // Working matrices over the shared pattern.
-    let mut g_mat = CsrMatrix::zeros(system.pattern.clone());
-    let mut c_mat = CsrMatrix::zeros(system.pattern.clone());
-    let mut j_mat = CsrMatrix::zeros(system.pattern.clone());
-    let mut ev = system.new_evaluation();
-
-    // Deferred v-update state: w_{n+1} per objective and h_{n+1}.
-    let mut pending_w: Option<Vec<Vec<f64>>> = None;
-    let mut pending_h = 0.0f64;
-
-    // Persistent per-parameter derivative buffers. `pool_here` holds the
-    // derivatives at the step being processed (computed during the newer
-    // step's iteration); `pool_prev` is filled with the predecessor state's
-    // derivatives each iteration, then the pools swap roles.
-    let mut pool_here: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = (0..n_par)
-        .map(|_| (vec![0.0; n], vec![0.0; n], vec![0.0; n]))
-        .collect();
-    let mut pool_prev = pool_here.clone();
-    let mut here_valid = false;
-
-    let mut grad = vec![0.0f64; n];
-    let device_eval_before = system.device_eval_time();
-
-    // Parameter derivatives are device-local: precompute each parameter's
-    // support (the unknowns its device touches) so the φ dot products and
-    // scratch clearing cost O(device size), not O(n) — with hundreds of
-    // parameters the dense path would dominate the whole reverse pass.
-    let supports: Vec<Vec<usize>> = params
-        .iter()
-        .map(|p| {
-            circuit.devices()[p.device]
-                .unknowns()
-                .into_iter()
-                .flatten()
-                .collect()
-        })
-        .collect();
-
+    let mut cursor = AdjointCursor::new(circuit, system, meta, objectives, params);
     while let Some((step, matrices)) = reader.next_back().map_err(AdjointError::from)? {
+        cursor.offer(system, step, matrices)?;
+    }
+    let mut result = cursor.finish();
+    result.stats.store = reader.metrics().clone();
+    Ok(result)
+}
+
+/// The per-step reverse-recursion engine behind [`adjoint_sensitivities`].
+///
+/// A cursor owns everything one adjoint pass accumulates — the deferred
+/// `C_{n-1}^T w_n / h_n` update, per-parameter derivative pools, the LU
+/// workspace whose symbolic analysis is shared across all reverse steps,
+/// and the running `dO/dp` matrix — while the *source* of each step's
+/// matrices stays with the caller. [`adjoint_sensitivities`] feeds it from
+/// a [`BackwardJacobians`] reader; `masc-sweep` feeds N cursors from the
+/// per-timestep super-tensor blocks it decodes. Both drive the identical
+/// arithmetic, which is what makes sweep results bit-comparable to
+/// independent single runs.
+///
+/// Feed steps in strictly descending order (`n_steps` down to `0`) via
+/// [`offer`], then call [`finish`].
+///
+/// [`offer`]: AdjointCursor::offer
+/// [`finish`]: AdjointCursor::finish
+pub struct AdjointCursor<'a> {
+    circuit: &'a Circuit,
+    meta: &'a RunMeta,
+    objectives: &'a [Objective],
+    params: &'a [ParamRef],
+    n_steps: usize,
+    start: Instant,
+    stats: AdjointStats,
+    dodp: Vec<Vec<f64>>,
+    g_mat: CsrMatrix,
+    c_mat: CsrMatrix,
+    j_mat: CsrMatrix,
+    ev: Evaluation,
+    lu: LuWorkspace,
+    pending_w: Option<Vec<Vec<f64>>>,
+    pending_h: f64,
+    /// Recycled solution buffers (and the container for them), so steady
+    /// state allocates nothing per step.
+    w_free: Vec<Vec<f64>>,
+    w_spare: Vec<Vec<f64>>,
+    pool_here: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    pool_prev: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    here_valid: bool,
+    grad: Vec<f64>,
+    v: Vec<f64>,
+    solve_work: Vec<f64>,
+    supports: Vec<Vec<usize>>,
+}
+
+impl<'a> AdjointCursor<'a> {
+    /// Creates a cursor with a fresh LU workspace.
+    pub fn new(
+        circuit: &'a Circuit,
+        system: &System,
+        meta: &'a RunMeta,
+        objectives: &'a [Objective],
+        params: &'a [ParamRef],
+    ) -> Self {
+        Self::with_workspace(
+            circuit,
+            system,
+            meta,
+            objectives,
+            params,
+            LuWorkspace::new(),
+        )
+    }
+
+    /// Creates a cursor around a caller-provided LU workspace — typically
+    /// one seeded via [`masc_sparse::LuWorkspace::with_symbolic`] so N
+    /// sweep instances share a single symbolic analysis.
+    pub fn with_workspace(
+        circuit: &'a Circuit,
+        system: &System,
+        meta: &'a RunMeta,
+        objectives: &'a [Objective],
+        params: &'a [ParamRef],
+        lu: LuWorkspace,
+    ) -> Self {
+        let n = system.n;
+        let n_par = params.len();
+        // Parameter derivatives are device-local: precompute each
+        // parameter's support (the unknowns its device touches) so the phi
+        // dot products and scratch clearing cost O(device size), not O(n) —
+        // with hundreds of parameters the dense path would dominate the
+        // whole reverse pass.
+        let supports: Vec<Vec<usize>> = params
+            .iter()
+            .map(|p| {
+                circuit.devices()[p.device]
+                    .unknowns()
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            })
+            .collect();
+        let pool_here: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = (0..n_par)
+            .map(|_| (vec![0.0; n], vec![0.0; n], vec![0.0; n]))
+            .collect();
+        Self {
+            circuit,
+            meta,
+            objectives,
+            params,
+            n_steps: meta.times.len().saturating_sub(1),
+            start: Instant::now(),
+            stats: AdjointStats::default(),
+            dodp: vec![vec![0.0f64; n_par]; objectives.len()],
+            g_mat: CsrMatrix::zeros(system.pattern.clone()),
+            c_mat: CsrMatrix::zeros(system.pattern.clone()),
+            j_mat: CsrMatrix::zeros(system.pattern.clone()),
+            ev: system.new_evaluation(),
+            lu,
+            pending_w: None,
+            pending_h: 0.0,
+            w_free: Vec::new(),
+            w_spare: Vec::new(),
+            pool_prev: pool_here.clone(),
+            pool_here,
+            here_valid: false,
+            grad: vec![0.0f64; n],
+            v: vec![0.0f64; n],
+            solve_work: Vec::new(),
+            supports,
+        }
+    }
+
+    /// Processes one reverse step given its matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdjointError::Lu`] if the step's system matrix cannot be
+    /// factored.
+    pub fn offer(
+        &mut self,
+        system: &mut System,
+        step: usize,
+        matrices: StepMatrices,
+    ) -> Result<(), AdjointError> {
+        let meta = self.meta;
         let t = meta.times[step];
         let x = &meta.states[step];
         // Obtain G_step, C_step.
         match matrices {
             StepMatrices::Stored { g, c } => {
-                system.scatter_g(&g, g_mat.values_mut());
-                system.scatter_c(&c, c_mat.values_mut());
+                system.scatter_g(&g, self.g_mat.values_mut());
+                system.scatter_c(&c, self.c_mat.values_mut());
             }
             StepMatrices::Recompute => {
                 let t0 = Instant::now();
-                system.eval_into(circuit, x, t, &mut ev);
-                g_mat.values_mut().copy_from_slice(ev.g.values());
-                c_mat.values_mut().copy_from_slice(ev.c.values());
-                stats.recompute_time += t0.elapsed();
+                system.eval_into(self.circuit, x, t, &mut self.ev);
+                self.g_mat.values_mut().copy_from_slice(self.ev.g.values());
+                self.c_mat.values_mut().copy_from_slice(self.ev.c.values());
+                self.stats.recompute_time += t0.elapsed();
             }
         }
 
         // Parameter derivatives at this step's state: left in `pool_here`
         // by the newer step's iteration, or computed fresh on the first.
         let t0 = Instant::now();
-        if !here_valid {
-            for (j, p) in params.iter().enumerate() {
-                let (df, dq, db) = &mut pool_here[j];
-                for &r in &supports[j] {
+        if !self.here_valid {
+            for (j, p) in self.params.iter().enumerate() {
+                let (df, dq, db) = &mut self.pool_here[j];
+                for &r in &self.supports[j] {
                     df[r] = 0.0;
                     dq[r] = 0.0;
                     db[r] = 0.0;
                 }
-                system.param_deriv_sparse_into(circuit, p, x, t, df, dq, db);
+                system.param_deriv_sparse_into(self.circuit, p, x, t, df, dq, db);
             }
-            here_valid = true;
+            self.here_valid = true;
         }
-        // Derivatives at the predecessor state (consumed as dq_{n−1} now,
+        // Derivatives at the predecessor state (consumed as dq_{n-1} now,
         // becoming this-step derivatives after the pool swap below).
         if step > 0 {
             let xp = &meta.states[step - 1];
             let tp = meta.times[step - 1];
-            for (j, p) in params.iter().enumerate() {
-                let (df, dq, db) = &mut pool_prev[j];
-                for &r in &supports[j] {
+            for (j, p) in self.params.iter().enumerate() {
+                let (df, dq, db) = &mut self.pool_prev[j];
+                for &r in &self.supports[j] {
                     df[r] = 0.0;
                     dq[r] = 0.0;
                     db[r] = 0.0;
                 }
-                system.param_deriv_sparse_into(circuit, p, xp, tp, df, dq, db);
+                system.param_deriv_sparse_into(self.circuit, p, xp, tp, df, dq, db);
             }
         }
-        stats.param_time += t0.elapsed();
+        self.stats.param_time += t0.elapsed();
 
-        // Factor the step's system matrix.
+        // Factor the step's system matrix. The workspace replays the
+        // recorded pivot sequence values-only; every reverse step shares
+        // the one symbolic analysis.
         let t0 = Instant::now();
-        let lu = if step > 0 {
+        let factors = if step > 0 {
             let h = meta.hs[step];
-            let jv = j_mat.values_mut();
-            jv.copy_from_slice(g_mat.values());
-            for (jv, cv) in jv.iter_mut().zip(c_mat.values()) {
+            let jv = self.j_mat.values_mut();
+            jv.copy_from_slice(self.g_mat.values());
+            for (jv, cv) in jv.iter_mut().zip(self.c_mat.values()) {
                 *jv += cv / h;
             }
-            LuFactors::factor(&j_mat)
+            self.lu.factor(&self.j_mat)
         } else {
-            LuFactors::factor(&g_mat)
+            self.lu.factor(&self.g_mat)
         }
         .map_err(|source| AdjointError::Lu { step, source })?;
 
-        let mut w_now: Vec<Vec<f64>> = Vec::with_capacity(n_obj);
-        for (i, objective) in objectives.iter().enumerate() {
-            // v_step = grad + C_stepᵀ w_{step+1} / h_{step+1}.
-            objective.gradient_into(step, n_steps, meta.hs[step], x, &mut grad);
-            let mut v = grad.clone();
-            if let Some(ws) = &pending_w {
-                let ct_w = c_mat.mul_vec_transpose(&ws[i]);
-                for (vi, ci) in v.iter_mut().zip(&ct_w) {
-                    *vi += ci / pending_h;
+        let mut w_now = std::mem::take(&mut self.w_spare);
+        for (i, objective) in self.objectives.iter().enumerate() {
+            // v_step = grad + C_step^T w_{step+1} / h_{step+1}.
+            objective.gradient_into(step, self.n_steps, meta.hs[step], x, &mut self.grad);
+            self.v.copy_from_slice(&self.grad);
+            if let Some(ws) = &self.pending_w {
+                let ct_w = self.c_mat.mul_vec_transpose(&ws[i]);
+                for (vi, ci) in self.v.iter_mut().zip(&ct_w) {
+                    *vi += ci / self.pending_h;
                 }
             }
-            let w = lu.solve_transpose(&v);
-            // Accumulate −wᵀ φ(p), summing only over each parameter's
+            let mut w = self.w_free.pop().unwrap_or_default();
+            factors.solve_transpose_into(&self.v, &mut self.solve_work, &mut w);
+            // Accumulate -w^T phi(p), summing only over each parameter's
             // support.
             let h = meta.hs[step];
-            for (j, (df, dq, db)) in pool_here.iter().enumerate() {
+            for (j, (df, dq, db)) in self.pool_here.iter().enumerate() {
                 let mut acc = 0.0;
                 if step > 0 {
-                    let dq_prev = &pool_prev[j].1;
-                    for &r in &supports[j] {
+                    let dq_prev = &self.pool_prev[j].1;
+                    for &r in &self.supports[j] {
                         let phi = (dq[r] - dq_prev[r]) / h + df[r] + db[r];
                         acc += w[r] * phi;
                     }
                 } else {
-                    for &r in &supports[j] {
+                    for &r in &self.supports[j] {
                         acc += w[r] * (df[r] + db[r]);
                     }
                 }
-                dodp[i][j] -= acc;
+                self.dodp[i][j] -= acc;
             }
             w_now.push(w);
         }
-        stats.lu_time += t0.elapsed();
+        self.stats.lu_time += t0.elapsed();
 
-        pending_w = Some(w_now);
-        pending_h = meta.hs[step];
+        if let Some(mut old) = self.pending_w.replace(w_now) {
+            self.w_free.append(&mut old);
+            self.w_spare = old;
+        }
+        self.pending_h = meta.hs[step];
         // The predecessor's derivatives become the next iteration's
         // "here" derivatives.
-        std::mem::swap(&mut pool_here, &mut pool_prev);
-        stats.steps += 1;
+        std::mem::swap(&mut self.pool_here, &mut self.pool_prev);
+        self.stats.steps += 1;
+        Ok(())
     }
 
-    let _ = device_eval_before;
-    stats.store = reader.metrics().clone();
-    stats.total_time = run_start.elapsed();
-    Ok(SensitivityResult {
-        values: dodp,
-        stats,
-    })
+    /// Completes the pass, yielding the sensitivity matrix and statistics.
+    pub fn finish(mut self) -> SensitivityResult {
+        self.stats.total_time = self.start.elapsed();
+        SensitivityResult {
+            values: self.dodp,
+            stats: self.stats,
+        }
+    }
 }
 
 /// Runs the adjoint with one *separate reverse sweep per objective*,

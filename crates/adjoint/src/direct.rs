@@ -17,7 +17,7 @@
 use crate::objective::Objective;
 use crate::store::RunMeta;
 use masc_circuit::{Circuit, ParamRef, System};
-use masc_sparse::{CsrMatrix, LuError, LuFactors};
+use masc_sparse::{CsrMatrix, LuError, LuWorkspace};
 
 /// Errors from the direct method.
 #[derive(Debug)]
@@ -86,7 +86,12 @@ pub fn direct_sensitivities(
     let mut g0 = CsrMatrix::zeros(system.pattern.clone());
     g0.values_mut().copy_from_slice(ev.g.values());
     let c_prev_values: Vec<f64> = ev.c.values().to_vec();
-    let lu0 = LuFactors::factor(&g0).map_err(|source| DirectError::Lu { step: 0, source })?;
+    // One symbolic analysis shared by the DC factor and every step's
+    // J = G + C/h refactorization (same MNA pattern throughout).
+    let mut lu_ws = LuWorkspace::new();
+    let lu0 = lu_ws
+        .factor(&g0)
+        .map_err(|source| DirectError::Lu { step: 0, source })?;
     let mut s: Vec<Vec<f64>> = Vec::with_capacity(n_par);
     for (j, p) in params.iter().enumerate() {
         system.param_deriv_into(
@@ -125,7 +130,9 @@ pub fn direct_sensitivities(
                 *jv += cv / h;
             }
         }
-        let lu = LuFactors::factor(&j_mat).map_err(|source| DirectError::Lu { step, source })?;
+        let lu = lu_ws
+            .factor(&j_mat)
+            .map_err(|source| DirectError::Lu { step, source })?;
         for (j, p) in params.iter().enumerate() {
             system.param_deriv_into(circuit, p, x, t, &mut df, &mut dq, &mut db);
             // rhs = C_{n−1} s_{n−1} / h − φ_n,

@@ -59,8 +59,8 @@ pub mod store;
 pub mod mutation;
 
 pub use adjoint::{
-    adjoint_sensitivities, adjoint_sensitivities_per_objective, AdjointError, AdjointStats,
-    SensitivityResult,
+    adjoint_sensitivities, adjoint_sensitivities_per_objective, AdjointCursor, AdjointError,
+    AdjointStats, SensitivityResult,
 };
 pub use direct::{direct_sensitivities, DirectError};
 pub use fd::{finite_difference, objective_value, FdError};

@@ -1,0 +1,80 @@
+//! Batched-sweep scaling: per-instance marginal cost vs batch size.
+//!
+//! ```text
+//! sweep [--quick] [--json <path>] [--gate <max-N8-marginal-over-N1>]
+//! ```
+//!
+//! `--quick` shrinks the ladder and step count (the CI mode); `--json`
+//! writes the machine-readable sweep next to the printed table; `--gate`
+//! exits nonzero when the per-instance marginal cost at N=8 — seconds on
+//! the modeled critical path, or bytes on the wire — fails to come in
+//! under the given fraction of the N=1 cost (the CI regression gate for
+//! the batch engine's economy of scale: a broken cross-instance predictor
+//! or a serialized solver section shows up here).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut gate: Option<f64> = None;
+    let mut quick = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json_path = iter.next().cloned(),
+            "--gate" => gate = iter.next().and_then(|v| v.parse().ok()),
+            "--quick" => quick = true,
+            other => {
+                eprintln!(
+                    "unknown argument {other:?} \
+                     (usage: sweep [--quick] [--json <path>] [--gate <x>])"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let batch_sizes = [1usize, 2, 4, 8];
+    eprintln!("running batched-sweep scaling over N in {batch_sizes:?} ...");
+    let sweep = if quick {
+        masc_bench::sweep::run_opts(&batch_sizes, 12, 60, 2)
+    } else {
+        masc_bench::sweep::run(&batch_sizes)
+    };
+    println!("{}", masc_bench::sweep::render(&sweep));
+
+    if let Some(path) = json_path {
+        let json = masc_bench::sweep::render_json(&sweep);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(ceiling) = gate {
+        let (Some(one), Some(eight)) = (
+            sweep.points.iter().find(|p| p.n == 1),
+            sweep.points.iter().find(|p| p.n == 8),
+        ) else {
+            eprintln!("gate FAILED: sweep is missing the N=1 or N=8 point");
+            return ExitCode::FAILURE;
+        };
+        let sec_ratio = eight.marginal_seconds / one.total_seconds.max(1e-12);
+        let byte_ratio = eight.marginal_bytes / (one.super_tensor_bytes.max(1)) as f64;
+        if sec_ratio < ceiling && byte_ratio < ceiling {
+            eprintln!(
+                "gate ok: N=8 marginal cost at {sec_ratio:.2}x (seconds) and \
+                 {byte_ratio:.2}x (bytes) of the N=1 cost, both < {ceiling:.2}x"
+            );
+        } else {
+            eprintln!(
+                "gate FAILED: N=8 marginal cost {sec_ratio:.2}x (seconds), \
+                 {byte_ratio:.2}x (bytes) vs the {ceiling:.2}x ceiling"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

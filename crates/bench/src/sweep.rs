@@ -1,0 +1,324 @@
+//! Batched-sweep scaling: per-instance marginal cost vs batch size N.
+//!
+//! The claim this bench pins is `masc-sweep`'s economy of scale: running N
+//! parameter variants as one batch costs *per instance* a fraction of
+//! what one variant costs alone, on two axes at once —
+//!
+//! - **bytes**: instance 0 pays the full temporal chain, but every
+//!   further instance is encoded against its neighbor at the same step
+//!   (cross-instance prediction), so its blocks carry only the parameter
+//!   delta's footprint;
+//! - **seconds**: per-instance solver work rides worker lanes while only
+//!   the compression/framing/decode sections are serial, so the N-worker
+//!   critical path is `serial + parallel/N`.
+//!
+//! Wall-clock runs are measured serially (min over repeats, the stable
+//! estimate under additive timer noise) and the N-worker critical path is
+//! evaluated from the measured serial/parallel split — the same modeling
+//! approach as the thread-scaling bench, meaningful even on a single-core
+//! CI box where wall-clock parallel speedup is impossible by
+//! construction. A 2-worker run at each N additionally pins that the
+//! super-tensor bytes are worker-invariant.
+
+use crate::render_table;
+use masc_adjoint::Objective;
+use masc_circuit::devices::{Capacitor, CurrentSource, Device, Diode, Resistor};
+use masc_circuit::transient::TranOptions;
+use masc_circuit::waveform::Waveform;
+use masc_circuit::Circuit;
+use masc_sweep::{run_sweep, SweepPlan, SweepStats};
+
+/// One batch-size measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Batch size (instances in the sweep).
+    pub n: usize,
+    /// Measured serial wall time of the whole batch (min over repeats).
+    pub total_seconds: f64,
+    /// Modeled N-worker critical path: `serial + (total - serial) / n`.
+    pub modeled_seconds: f64,
+    /// `modeled_seconds / n` — what one instance costs inside the batch.
+    pub marginal_seconds: f64,
+    /// Framed super-tensor size for the whole batch.
+    pub super_tensor_bytes: usize,
+    /// `super_tensor_bytes / n` — what one instance's matrices cost.
+    pub marginal_bytes: f64,
+    /// `n ×` the N=1 super-tensor size: N independent temporal chains.
+    pub independent_bytes: usize,
+    /// Raw (uncompressed) size of the batch's stored non-zeros.
+    pub raw_bytes: usize,
+}
+
+/// One full sweep over batch sizes.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Per-batch-size results, in the order requested.
+    pub points: Vec<Point>,
+    /// RC-ladder stages (one unknown each).
+    pub stages: usize,
+    /// Transient steps per instance.
+    pub steps: usize,
+    /// Timing repeats (minimum taken).
+    pub repeats: usize,
+}
+
+/// The workload: a sine-driven diode RC ladder (the *shared* section —
+/// identical in every batch instance) next to one linear RC stage that
+/// carries the swept resistor (the *varied* section).
+///
+/// The diodes' state-dependent stamps make `G` and `C` change every
+/// step, so instance 0's temporal chain pays real entropy. The varied
+/// section is electrically isolated from the diode ladder, mirroring the
+/// common sweep scenario where the swept parameter's influence on the
+/// Jacobian is local: instance `k` and instance `k−1` then agree exactly
+/// on the whole shared section at every step, and the cross-instance
+/// residual is confined to the swept resistor's stamps — the regime
+/// where cross-instance prediction collapses the marginal bytes while
+/// the temporal chain cannot.
+fn ladder(stages: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let nodes: Vec<_> = (0..stages)
+        .map(|s| ckt.node(&format!("d{s}")).unknown())
+        .collect();
+    ckt.add(Device::CurrentSource(CurrentSource::new(
+        "IL",
+        None,
+        nodes[0],
+        Waveform::Sin {
+            vo: 1e-3,
+            va: 8e-4,
+            freq: 200.0,
+            td: 0.0,
+            theta: 0.0,
+        },
+    )))
+    .expect("ladder source");
+    for s in 0..stages {
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("RL{s}"),
+            nodes[s],
+            None,
+            1000.0,
+        )))
+        .expect("ladder resistor");
+        ckt.add(Device::Capacitor(Capacitor::new(
+            format!("CL{s}"),
+            nodes[s],
+            None,
+            1e-6,
+        )))
+        .expect("ladder capacitor");
+        ckt.add(Device::Diode(
+            Diode::new(format!("DL{s}"), nodes[s], None).with_junction_cap(1e-9),
+        ))
+        .expect("ladder diode");
+        if s + 1 < stages {
+            ckt.add(Device::Resistor(Resistor::new(
+                format!("RS{s}"),
+                nodes[s],
+                nodes[s + 1],
+                500.0,
+            )))
+            .expect("ladder series resistor");
+        }
+    }
+    // The varied section: one DC-driven RC stage carrying the swept
+    // parameter.
+    let probe = ckt.node("p0").unknown();
+    ckt.add(Device::CurrentSource(CurrentSource::new(
+        "IP",
+        None,
+        probe,
+        Waveform::Dc(1e-3),
+    )))
+    .expect("probe source");
+    ckt.add(Device::Resistor(Resistor::new("R0", probe, None, 1000.0)))
+        .expect("probe resistor");
+    ckt.add(Device::Capacitor(Capacitor::new("C0", probe, None, 1e-6)))
+        .expect("probe capacitor");
+    ckt
+}
+
+fn plan_for(base: &Circuit, steps: usize, n: usize, workers: usize) -> SweepPlan {
+    let dt = 5e-5;
+    let tran = TranOptions::new(dt * steps as f64, dt);
+    let probe = base
+        .find_node("p0")
+        .and_then(|nd| nd.unknown())
+        .expect("ladder probe node");
+    let objectives = vec![
+        Objective::FinalValue { unknown: probe },
+        Objective::Integral { unknown: probe },
+    ];
+    let r0 = base.find_param("R0.r").expect("R0.r");
+    let c0 = base.find_param("C0.c").expect("C0.c");
+    let mut plan = SweepPlan::new(tran, objectives, vec![r0.clone(), c0]).with_workers(workers);
+    for k in 0..n {
+        plan.push_variant(vec![(r0.clone(), 1000.0 * (1.0 + 0.05 * k as f64))]);
+    }
+    plan
+}
+
+/// Runs the full sweep over the given batch sizes.
+pub fn run(batch_sizes: &[usize]) -> Sweep {
+    run_opts(batch_sizes, 24, 200, 3)
+}
+
+/// Runs the sweep on a `stages`-node ladder for `steps` transient steps,
+/// timing each batch size `repeats` times and keeping the minimum.
+pub fn run_opts(batch_sizes: &[usize], stages: usize, steps: usize, repeats: usize) -> Sweep {
+    let base = ladder(stages);
+    let mut points = Vec::new();
+    let mut bytes_at_one: Option<usize> = None;
+    for &n in batch_sizes {
+        let plan = plan_for(&base, steps, n, 1);
+        let mut best: Option<SweepStats> = None;
+        let mut bytes = 0usize;
+        let mut raw = 0usize;
+        for _ in 0..repeats.max(1) {
+            let result = run_sweep(&base, &plan).expect("bench sweep runs");
+            bytes = result.stats.super_tensor_bytes;
+            raw = result.stats.raw_bytes;
+            best = Some(match best {
+                None => result.stats,
+                Some(acc) if result.stats.total_time < acc.total_time => result.stats,
+                Some(acc) => acc,
+            });
+        }
+        let stats = best.expect("at least one timing pass");
+
+        // Worker-invariance pin: the same batch on 2 workers must emit
+        // byte-identical super-tensor framing.
+        let threaded = run_sweep(&base, &plan_for(&base, steps, n, 2)).expect("threaded sweep");
+        assert_eq!(
+            threaded.stats.super_tensor_bytes, bytes,
+            "super-tensor bytes changed with worker count at N={n}"
+        );
+
+        let total = stats.total_time.as_secs_f64();
+        let serial = stats.serial_time.as_secs_f64().min(total);
+        let modeled = serial + (total - serial) / n as f64;
+        if n == 1 {
+            bytes_at_one = Some(bytes);
+        }
+        points.push(Point {
+            n,
+            total_seconds: total,
+            modeled_seconds: modeled,
+            marginal_seconds: modeled / n as f64,
+            super_tensor_bytes: bytes,
+            marginal_bytes: bytes as f64 / n as f64,
+            independent_bytes: bytes_at_one.map_or(0, |b| b * n),
+            raw_bytes: raw,
+        });
+    }
+    Sweep {
+        points,
+        stages,
+        steps,
+        repeats,
+    }
+}
+
+/// Renders the sweep as the human-readable results table.
+pub fn render(sweep: &Sweep) -> String {
+    let data: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                format!("{:.1}", p.total_seconds * 1e3),
+                format!("{:.2}", p.marginal_seconds * 1e3),
+                format!("{}", p.super_tensor_bytes),
+                format!("{:.0}", p.marginal_bytes),
+                format!("{}", p.independent_bytes),
+                format!(
+                    "{:.1}x",
+                    p.raw_bytes as f64 / p.super_tensor_bytes.max(1) as f64
+                ),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        &[
+            "N",
+            "Total ms",
+            "Marg ms/inst",
+            "Bytes",
+            "Marg B/inst",
+            "Indep bytes",
+            "vs raw",
+        ],
+        &data,
+    );
+    out.push_str(&format!(
+        "({} ladder stages, {} steps, min of {} repeats; marginal seconds from the \
+         measured serial/parallel split on an N-worker critical path)\n",
+        sweep.stages, sweep.steps, sweep.repeats
+    ));
+    out
+}
+
+/// Renders the sweep as the machine-readable `BENCH_sweep.json` payload.
+pub fn render_json(sweep: &Sweep) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"family\": \"rc-ladder\", \"stages\": {}, \"steps\": {}, \
+         \"repeats\": {}}},\n",
+        sweep.stages, sweep.steps, sweep.repeats
+    ));
+    out.push_str("  \"model\": \"critical-path\",\n  \"points\": [\n");
+    for (i, p) in sweep.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"total_seconds\": {:.6}, \"modeled_seconds\": {:.6}, \
+             \"marginal_seconds\": {:.6}, \"super_tensor_bytes\": {}, \
+             \"marginal_bytes\": {:.1}, \"independent_bytes\": {}, \"raw_bytes\": {}}}{}\n",
+            p.n,
+            p.total_seconds,
+            p.modeled_seconds,
+            p.marginal_seconds,
+            p.super_tensor_bytes,
+            p.marginal_bytes,
+            p.independent_bytes,
+            p.raw_bytes,
+            if i + 1 == sweep.points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_cost_collapses_with_batch_size() {
+        let sweep = run_opts(&[1, 2, 4, 8], 8, 30, 1);
+        assert_eq!(sweep.points.len(), 4);
+        for pair in sweep.points.windows(2) {
+            assert!(
+                pair[1].marginal_bytes < pair[0].marginal_bytes,
+                "marginal bytes must decrease monotonically: {:?}",
+                sweep.points
+            );
+            assert!(
+                pair[1].marginal_seconds < pair[0].marginal_seconds,
+                "marginal seconds must decrease monotonically: {:?}",
+                sweep.points
+            );
+        }
+        let first = &sweep.points[0];
+        let last = &sweep.points[3];
+        // The CI gate's claim, at bench-test scale.
+        assert!(last.marginal_bytes < 0.6 * first.super_tensor_bytes as f64);
+        assert!(last.marginal_seconds < 0.6 * first.total_seconds);
+        // Cross-instance prediction beats N independent temporal chains.
+        assert!(last.super_tensor_bytes < last.independent_bytes);
+        let text = render(&sweep);
+        assert!(text.contains("Marg B/inst"));
+        let json = render_json(&sweep);
+        assert!(json.contains("\"marginal_bytes\""));
+    }
+}

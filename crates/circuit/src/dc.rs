@@ -12,7 +12,7 @@
 
 use crate::circuit::{Circuit, System};
 use crate::newton::{newton_solve, NewtonError, NewtonOptions, NewtonStats};
-use masc_sparse::CsrMatrix;
+use masc_sparse::{CsrMatrix, LuWorkspace};
 
 /// Result of a DC operating-point solve.
 #[derive(Debug, Clone)]
@@ -34,6 +34,27 @@ pub fn dc_operating_point(
     circuit: &Circuit,
     system: &mut System,
     opts: &NewtonOptions,
+) -> Result<DcSolution, NewtonError> {
+    let mut lu = LuWorkspace::new();
+    dc_operating_point_ws(circuit, system, opts, &mut lu)
+}
+
+/// [`dc_operating_point`] with a caller-provided LU workspace.
+///
+/// All schedule stages share the workspace's symbolic analysis (the MNA
+/// pattern never changes mid-solve), and a caller running a larger
+/// simulation — the transient stepper, or a `masc-sweep` instance seeded
+/// with a shared analysis — passes the same workspace here so the DC solve
+/// contributes to (and benefits from) the one symbolic factorization.
+///
+/// # Errors
+///
+/// Returns [`NewtonError`] if even the most heavily shunted stage fails.
+pub fn dc_operating_point_ws(
+    circuit: &Circuit,
+    system: &mut System,
+    opts: &NewtonOptions,
+    lu: &mut LuWorkspace,
 ) -> Result<DcSolution, NewtonError> {
     let n = system.n;
     let mut x = vec![0.0; n];
@@ -70,7 +91,7 @@ pub fn dc_operating_point(
         let mut stage_stats = NewtonStats::default();
         for &(gshunt, scale) in schedule.iter() {
             stages += 1;
-            let result = newton_solve(&mut stage_x, opts, &mut j, &mut r, |x, r, j| {
+            let result = newton_solve(&mut stage_x, opts, lu, &mut j, &mut r, |x, r, j| {
                 system.eval_into(circuit, x, 0.0, &mut ev);
                 for (ri, (fi, bi)) in r.iter_mut().zip(ev.f.iter().zip(&ev.b)) {
                     *ri = fi + scale * bi;

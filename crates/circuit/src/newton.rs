@@ -1,6 +1,6 @@
 //! Damped Newton–Raphson iteration over the shared-pattern Jacobian.
 
-use masc_sparse::{CsrMatrix, LuError, LuFactors};
+use masc_sparse::{CsrMatrix, LuError, LuWorkspace};
 use std::time::{Duration, Instant};
 
 /// Newton iteration controls.
@@ -90,6 +90,7 @@ pub struct NewtonStats {
 pub fn newton_solve<F>(
     x: &mut [f64],
     opts: &NewtonOptions,
+    lu: &mut LuWorkspace,
     j: &mut CsrMatrix,
     r: &mut Vec<f64>,
     mut assemble: F,
@@ -99,6 +100,8 @@ where
 {
     let mut stats = NewtonStats::default();
     let mut last_norm = f64::INFINITY;
+    let mut work = Vec::new();
+    let mut delta = Vec::new();
     for it in 0..opts.max_iter {
         stats.iterations = it + 1;
         assemble(x, r, j);
@@ -111,12 +114,12 @@ where
             return Ok(stats);
         }
         let lu_start = Instant::now();
-        let lu = LuFactors::factor(j)?;
+        let factors = lu.factor(j)?;
         // Solve J Δ = −r.
         for v in r.iter_mut() {
             *v = -*v;
         }
-        let mut delta = lu.solve(r);
+        factors.solve_into(r, &mut work, &mut delta);
         stats.lu_time += lu_start.elapsed();
 
         // Damping: scale the whole step if any component is too large.
@@ -153,9 +156,11 @@ mod tests {
         let mut j = t.to_csr();
         let mut r = vec![0.0];
         let mut x = vec![3.0];
+        let mut ws = LuWorkspace::new();
         let stats = newton_solve(
             &mut x,
             &NewtonOptions::default(),
+            &mut ws,
             &mut j,
             &mut r,
             |x, r, j| {
@@ -182,9 +187,11 @@ mod tests {
         let mut r = vec![0.0; 2];
         let mut x = vec![0.5, 1.7];
         // f0 = x0 + x1 − 3, f1 = x0·x1 − 2  → (1, 2) or (2, 1).
+        let mut ws = LuWorkspace::new();
         newton_solve(
             &mut x,
             &NewtonOptions::default(),
+            &mut ws,
             &mut j,
             &mut r,
             |x, r, j| {
@@ -209,9 +216,11 @@ mod tests {
         let mut j = t.to_csr();
         let mut r = vec![0.0];
         let mut x = vec![1.0];
+        let mut ws = LuWorkspace::new();
         let err = newton_solve(
             &mut x,
             &NewtonOptions::default(),
+            &mut ws,
             &mut j,
             &mut r,
             |_x, r, j| {
@@ -236,7 +245,8 @@ mod tests {
             max_iter: 30,
             ..NewtonOptions::default()
         };
-        let err = newton_solve(&mut x, &opts, &mut j, &mut r, |x, r, j| {
+        let mut ws = LuWorkspace::new();
+        let err = newton_solve(&mut x, &opts, &mut ws, &mut j, &mut r, |x, r, j| {
             r[0] = 1.0 + x[0] * x[0];
             j.clear();
             j.add_at(0, 0, 2.0 * x[0].max(0.05)).unwrap();
@@ -259,7 +269,8 @@ mod tests {
             ..NewtonOptions::default()
         };
         // Linear system with solution far away: x = 100.
-        newton_solve(&mut x, &opts, &mut j, &mut r, |x, r, j| {
+        let mut ws = LuWorkspace::new();
+        newton_solve(&mut x, &opts, &mut ws, &mut j, &mut r, |x, r, j| {
             if first_x.is_none() && x[0] != 0.0 {
                 first_x = Some(x[0]);
             }

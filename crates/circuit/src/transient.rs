@@ -7,9 +7,9 @@
 //! compressor (paper Algorithm 2, lines 2–8).
 
 use crate::circuit::{Circuit, System};
-use crate::dc::{dc_operating_point, DcSolution};
+use crate::dc::{dc_operating_point_ws, DcSolution};
 use crate::newton::{newton_solve, NewtonError, NewtonOptions};
-use masc_sparse::CsrMatrix;
+use masc_sparse::{CsrMatrix, LuWorkspace};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -256,6 +256,29 @@ pub fn transient<S: JacobianSink>(
     opts: &TranOptions,
     sink: &mut S,
 ) -> Result<TranResult, TranError> {
+    let mut lu = LuWorkspace::new();
+    transient_ws(circuit, system, opts, sink, &mut lu)
+}
+
+/// [`transient`] with a caller-provided LU workspace.
+///
+/// The workspace's symbolic analysis is computed once (at the first DC
+/// factorization) and every subsequent Newton iteration of every timestep
+/// refactors values-only into the same preallocated `L`/`U` storage.
+/// `masc-sweep` passes workspaces pre-seeded with one shared
+/// [`masc_sparse::SymbolicLu`] so N parameter variants skip even that
+/// first analysis.
+///
+/// # Errors
+///
+/// Returns [`TranError`] if the DC point or any step fails.
+pub fn transient_ws<S: JacobianSink>(
+    circuit: &Circuit,
+    system: &mut System,
+    opts: &TranOptions,
+    sink: &mut S,
+    lu: &mut LuWorkspace,
+) -> Result<TranResult, TranError> {
     let run_start = Instant::now();
     system.reset_stats();
     let n = system.n;
@@ -266,7 +289,7 @@ pub fn transient<S: JacobianSink>(
         x: mut x_prev,
         stats: dc_stats,
         ..
-    } = dc_operating_point(circuit, system, &opts.newton).map_err(TranError::Dc)?;
+    } = dc_operating_point_ws(circuit, system, &opts.newton, lu).map_err(TranError::Dc)?;
     stats.newton_iterations += dc_stats.iterations;
     stats.lu_time += dc_stats.lu_time;
 
@@ -307,7 +330,7 @@ pub fn transient<S: JacobianSink>(
                 (t_now + h_clamped, h_clamped)
             }
         };
-        let attempt = newton_solve(&mut x, &opts.newton, &mut j, &mut r, |x, r, j| {
+        let attempt = newton_solve(&mut x, &opts.newton, lu, &mut j, &mut r, |x, r, j| {
             system.eval_into(circuit, x, t, &mut ev);
             for i in 0..n {
                 r[i] = (ev.q[i] - q_prev[i]) / h_used + ev.f[i] + ev.b[i];

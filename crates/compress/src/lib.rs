@@ -71,14 +71,14 @@ pub mod mutation;
 pub use config::MascConfig;
 pub use matrix::{compress_matrix, decompress_matrix};
 pub use parallel::{
-    compress_matrix_parallel, compress_matrix_seeded, decompress_matrix_parallel, profile_matrix,
-    MatrixProfile,
+    compress_matrix_cross, compress_matrix_parallel, compress_matrix_seeded,
+    decompress_matrix_parallel, profile_matrix, MatrixProfile,
 };
 pub use predictor::{Region, StampMaps};
 pub use stats::{CompressStats, ModelClass};
 pub use tensor::{
-    decode_block, encode_block, encode_seed_block, BackwardDecompressor, CompressedTensor,
-    TensorCompressor,
+    decode_block, encode_block, encode_cross_block, encode_seed_block, BackwardDecompressor,
+    CompressedTensor, TensorCompressor,
 };
 
 use crate::residual::ResidualError;

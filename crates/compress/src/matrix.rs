@@ -37,6 +37,14 @@ pub(crate) const FLAG_SEEDED: u8 = 1 << 4;
 /// count, selection-substream length, byte length) ahead of the payloads.
 /// Always set together with [`FLAG_CHUNKED`].
 pub(crate) const FLAG_CHUNK_HEADERS: u8 = 1 << 5;
+/// Era-3 cross-instance block: the reference is the *same-timestep* matrix
+/// of the previous sweep instance, not the temporal successor. The payload
+/// layout is unchanged — the flag only tells the reader which reference the
+/// encoder used, so decoding with a temporal reference (or vice versa) is
+/// caught by the checksum instead of silently producing garbage.
+/// Mutually exclusive with [`FLAG_SEEDED`]: a block cannot be both
+/// reference-free and cross-referenced.
+pub(crate) const FLAG_CROSS_INSTANCE: u8 = 1 << 6;
 /// Bits no known era uses; streams carrying them are from the future and
 /// must be rejected rather than misread.
 const FLAG_UNKNOWN_MASK: u8 = !(FLAG_MARKOV
@@ -44,7 +52,8 @@ const FLAG_UNKNOWN_MASK: u8 = !(FLAG_MARKOV
     | FLAG_CHECKSUM
     | FLAG_CHUNKED
     | FLAG_SEEDED
-    | FLAG_CHUNK_HEADERS);
+    | FLAG_CHUNK_HEADERS
+    | FLAG_CROSS_INSTANCE);
 
 /// Rotating XOR fold over value bit patterns — cheap integrity check.
 pub(crate) fn checksum(values: &[f64]) -> u64 {
@@ -410,6 +419,11 @@ pub(crate) fn parse_header(
     if flags & FLAG_CHUNK_HEADERS != 0 && flags & FLAG_CHUNKED == 0 {
         return Err(CompressError::Corrupt(
             "chunk-header flag without chunked flag",
+        ));
+    }
+    if flags & FLAG_CROSS_INSTANCE != 0 && flags & FLAG_SEEDED != 0 {
+        return Err(CompressError::Corrupt(
+            "cross-instance flag combined with seeded flag",
         ));
     }
     let (stored_nnz, used) = varint::read_u64(bytes.get(pos..).ok_or(CompressError::Truncated)?)?;

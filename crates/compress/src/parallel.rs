@@ -30,7 +30,7 @@
 use crate::config::MascConfig;
 use crate::matrix::{
     checksum, decode_range, decode_range_local, encode_range_split, parse_header, write_header,
-    HeaderParams, ParsedHeader, FLAG_CHUNKED, FLAG_CHUNK_HEADERS, FLAG_SEEDED,
+    HeaderParams, ParsedHeader, FLAG_CHUNKED, FLAG_CHUNK_HEADERS, FLAG_CROSS_INSTANCE, FLAG_SEEDED,
 };
 use crate::predictor::StampMaps;
 use crate::stats::CompressStats;
@@ -120,19 +120,18 @@ fn encode_chunks(
     slots.into_iter().flatten().collect()
 }
 
-/// Assembles the era-2 stream from encoded chunks.
+/// Assembles the era-2 stream from encoded chunks. `block_flags` carries
+/// the block-kind bits (none, [`FLAG_SEEDED`], or [`FLAG_CROSS_INSTANCE`])
+/// on top of the chunked-layout flags.
 fn assemble_chunked(
     values: &[f64],
     config: &MascConfig,
     ranges: &[core::ops::Range<usize>],
     encoded: &[EncodedChunk],
-    seeded: bool,
+    block_flags: u8,
     stats: &mut CompressStats,
 ) -> Vec<u8> {
-    let mut flags = FLAG_CHUNKED | FLAG_CHUNK_HEADERS;
-    if seeded {
-        flags |= FLAG_SEEDED;
-    }
+    let flags = FLAG_CHUNKED | FLAG_CHUNK_HEADERS | block_flags;
     let mut out = write_header(values, config, flags);
     varint::write_u64(&mut out, config.chunk_size as u64);
     varint::write_u64(&mut out, encoded.len() as u64);
@@ -156,7 +155,7 @@ fn compress_chunked(
     reference: &[f64],
     maps: &StampMaps,
     config: &MascConfig,
-    seeded: bool,
+    block_flags: u8,
 ) -> (Vec<u8>, CompressStats) {
     let nnz = maps.order().len();
     assert_eq!(values.len(), nnz, "value count != pattern nnz");
@@ -166,7 +165,7 @@ fn compress_chunked(
     let threads = config.threads.max(1).min(ranges.len().max(1));
     let encoded = encode_chunks(values, reference, maps, &params, &ranges, threads);
     let mut stats = CompressStats::new();
-    let out = assemble_chunked(values, config, &ranges, &encoded, seeded, &mut stats);
+    let out = assemble_chunked(values, config, &ranges, &encoded, block_flags, &mut stats);
     (out, stats)
 }
 
@@ -185,7 +184,7 @@ pub fn compress_matrix_parallel(
     maps: &StampMaps,
     config: &MascConfig,
 ) -> (Vec<u8>, CompressStats) {
-    compress_chunked(values, reference, maps, config, false)
+    compress_chunked(values, reference, maps, config, 0)
 }
 
 /// Compresses a matrix as a *seed* block: encoded against an all-zero
@@ -202,7 +201,33 @@ pub fn compress_matrix_seeded(
     config: &MascConfig,
 ) -> (Vec<u8>, CompressStats) {
     let zeros = vec![0.0f64; maps.order().len()];
-    compress_chunked(values, &zeros, maps, config, true)
+    compress_chunked(values, &zeros, maps, config, FLAG_SEEDED)
+}
+
+/// Compresses a matrix as an era-3 *cross-instance* block: `reference` is
+/// the same-timestep matrix of the *previous sweep instance* rather than
+/// the temporal successor. Parameter sweeps elaborate the same netlist N
+/// times with small parameter deltas, so adjacent instances' Jacobians at
+/// the same step differ in only the swept stamps — the residuals are far
+/// sparser than along the temporal axis. The payload layout is identical to
+/// [`compress_matrix_parallel`]; the `FLAG_CROSS_INSTANCE` header bit
+/// records which axis the reference came from, and decoding against the
+/// wrong reference is caught by the stream checksum.
+///
+/// Decode with [`decompress_matrix_parallel`], passing the previous
+/// instance's decoded same-step values as `reference`.
+///
+/// # Panics
+///
+/// Panics if `values.len()` or `reference.len()` differ from the pattern
+/// nnz.
+pub fn compress_matrix_cross(
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> (Vec<u8>, CompressStats) {
+    compress_chunked(values, reference, maps, config, FLAG_CROSS_INSTANCE)
 }
 
 /// Parsed era-2 per-chunk header entry.
@@ -610,7 +635,7 @@ pub fn profile_matrix(
     }
     let t0 = Instant::now();
     let mut stats = CompressStats::new();
-    let bytes = assemble_chunked(values, config, &ranges, &encoded, false, &mut stats);
+    let bytes = assemble_chunked(values, config, &ranges, &encoded, 0, &mut stats);
     profile.encode_serial = t0.elapsed();
     profile.compressed_bytes = bytes.len();
 
@@ -929,6 +954,86 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn cross_instance_round_trip_and_thread_invariance() {
+        let p = pattern(60, 2);
+        let maps = StampMaps::new(&p);
+        // Adjacent sweep instances: same step, tiny parameter delta.
+        let prev_instance = values(&p, 3.0);
+        let cur: Vec<f64> = prev_instance
+            .iter()
+            .enumerate()
+            .map(|(k, v)| if k % 11 == 0 { v * 1.001 } else { *v })
+            .collect();
+        let serial = MascConfig {
+            chunk_size: 32,
+            threads: 1,
+            markov_min_warmup: 4,
+            ..MascConfig::default()
+        };
+        let parallel = MascConfig {
+            threads: 4,
+            ..serial.clone()
+        };
+        let (b1, stats) = compress_matrix_cross(&cur, &prev_instance, &maps, &serial);
+        let (b2, _) = compress_matrix_cross(&cur, &prev_instance, &maps, &parallel);
+        assert_eq!(b1, b2, "cross stream must be thread-count invariant");
+        assert!(stats.output_bytes > 0);
+        let flags = b1[0];
+        assert!(flags & FLAG_CROSS_INSTANCE != 0 && flags & FLAG_SEEDED == 0);
+        let header = parse_header(&b1, p.nnz()).unwrap();
+        assert!(!header.seeded);
+        for config in [&serial, &parallel] {
+            let out = decompress_matrix_parallel(&b1, &prev_instance, &maps, config).unwrap();
+            for (a, b) in cur.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cross_block_with_wrong_reference_fails_checksum() {
+        let p = pattern(40, 2);
+        let maps = StampMaps::new(&p);
+        let prev_instance = values(&p, 3.0);
+        let cur = values(&p, 3.001);
+        let config = MascConfig {
+            chunk_size: 16,
+            threads: 2,
+            markov_min_warmup: 4,
+            ..MascConfig::default()
+        };
+        let (bytes, _) = compress_matrix_cross(&cur, &prev_instance, &maps, &config);
+        // Handing the decoder a *temporal* reference (what a reader that
+        // ignored the flag would do) must be caught, not silently wrong.
+        let wrong = values(&p, 7.0);
+        assert_eq!(
+            decompress_matrix_parallel(&bytes, &wrong, &maps, &config),
+            Err(CompressError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn cross_plus_seeded_flags_rejected() {
+        let p = pattern(20, 1);
+        let maps = StampMaps::new(&p);
+        let cur = values(&p, 1.0);
+        let reference = values(&p, 1.001);
+        let config = MascConfig {
+            chunk_size: 16,
+            ..MascConfig::default()
+        };
+        let (mut bytes, _) = compress_matrix_cross(&cur, &reference, &maps, &config);
+        // A block cannot be both reference-free and cross-referenced.
+        bytes[0] |= crate::matrix::FLAG_SEEDED;
+        assert_eq!(
+            decompress_matrix_parallel(&bytes, &reference, &maps, &config),
+            Err(CompressError::Corrupt(
+                "cross-instance flag combined with seeded flag"
+            ))
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use crate::config::MascConfig;
 use crate::matrix::{decompress_matrix, FLAG_CHUNKED, FLAG_SEEDED};
 use crate::parallel::{
-    compress_matrix_parallel, compress_matrix_seeded, decompress_matrix_parallel,
+    compress_matrix_cross, compress_matrix_parallel, compress_matrix_seeded,
+    decompress_matrix_parallel,
 };
 use crate::predictor::StampMaps;
 use crate::stats::CompressStats;
@@ -73,6 +74,22 @@ pub fn encode_seed_block(
     config: &MascConfig,
 ) -> (Vec<u8>, CompressStats) {
     compress_matrix_seeded(values, maps, config)
+}
+
+/// Compresses one matrix as a *cross-instance* block: `reference` is the
+/// same-timestep matrix of the previous sweep instance rather than the
+/// temporal successor. Super-tensors write instance 0 through the ordinary
+/// temporal chain and instances k ≥ 1 as cross blocks against instance
+/// k − 1 — the paper's spatiotemporal prediction gaining a third, batch
+/// axis. Decode with [`decode_block`], passing instance k − 1's decoded
+/// same-step values as the reference.
+pub fn encode_cross_block(
+    values: &[f64],
+    reference: &[f64],
+    maps: &StampMaps,
+    config: &MascConfig,
+) -> (Vec<u8>, CompressStats) {
+    compress_matrix_cross(values, reference, maps, config)
 }
 
 /// Decodes one compressed block against `reference` (the newest block of a

@@ -55,6 +55,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(oracles::parser::ParserRoundtrip),
         Box::new(oracles::store::StoreEquivalence),
         Box::new(oracles::store::AdjointOracle),
+        Box::new(oracles::sweep::SweepEquivalence),
     ]
 }
 

@@ -6,4 +6,5 @@ pub mod codec;
 pub mod matrix;
 pub mod parser;
 pub mod store;
+pub mod sweep;
 pub mod tensor;

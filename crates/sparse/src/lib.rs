@@ -47,7 +47,7 @@ pub mod triplet;
 
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
-pub use lu::{LuError, LuFactors};
+pub use lu::{LuError, LuFactors, LuWorkspace, NumericLu, SymbolicLu};
 pub use pattern::Pattern;
 pub use triplet::TripletMatrix;
 

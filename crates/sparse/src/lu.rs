@@ -1,14 +1,24 @@
 //! Sparse LU factorization (left-looking Gilbert–Peierls) with threshold
-//! partial pivoting and transpose solves.
+//! partial pivoting, transpose solves, and a symbolic/numeric split.
 //!
 //! Transient circuit simulation solves `J Δx = -r` at every Newton
 //! iteration, and the adjoint pass solves `Jᵀ w = v` at every reverse step
-//! — both on the same factorization. The factorization here follows the
-//! classic CSparse `cs_lu` structure: per-column symbolic reachability via
-//! depth-first search on the partially-built `L`, a sparse triangular solve,
-//! then threshold partial pivoting with a preference for the diagonal entry
+//! — both on the same factorization, and every one of those matrices shares
+//! one sparsity pattern. The factorization here follows the classic CSparse
+//! `cs_lu` structure: per-column symbolic reachability via depth-first
+//! search on the partially-built `L`, a sparse triangular solve, then
+//! threshold partial pivoting with a preference for the diagonal entry
 //! (KLU-style), which keeps MNA matrices stable without destroying the
 //! fill-reducing column ordering.
+//!
+//! The expensive parts of that pipeline — RCM ordering, the per-column
+//! reachability DFS, and pivot search — depend only on the pattern and the
+//! chosen pivot sequence, so they are captured once in a [`SymbolicLu`] and
+//! replayed by [`NumericLu::refactor`], a values-only elimination into
+//! preallocated `L`/`U` storage (KLU's *refactorization*). [`LuWorkspace`]
+//! bundles the pair behind the same call shape as the one-shot
+//! [`LuFactors::factor`], falling back to a fresh analysis when the recorded
+//! pivot sequence goes numerically bad.
 //!
 //! # Examples
 //!
@@ -29,9 +39,31 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Reusing the symbolic analysis across a matrix sequence:
+//!
+//! ```
+//! use masc_sparse::{lu::LuWorkspace, TripletMatrix};
+//!
+//! # fn main() -> Result<(), masc_sparse::LuError> {
+//! let mut t = TripletMatrix::new(2, 2);
+//! t.add(0, 0, 4.0);
+//! t.add(0, 1, 1.0);
+//! t.add(1, 0, 2.0);
+//! t.add(1, 1, 3.0);
+//! let mut a = t.to_csr();
+//! let mut ws = LuWorkspace::new();
+//! let x0 = ws.factor(&a)?.solve(&[9.0, 11.0]); // full analysis
+//! a.values_mut()[0] = 5.0;
+//! let x1 = ws.factor(&a)?.solve(&[9.0, 11.0]); // values-only refactor
+//! assert!((x0[0] - 1.6).abs() < 1e-12 && x1[0] < x0[0]);
+//! # Ok(())
+//! # }
+//! ```
 
-use crate::{rcm, CsrMatrix};
+use crate::{rcm, CsrMatrix, Pattern};
 use core::fmt;
+use std::sync::Arc;
 
 /// Sentinel for "not yet pivotal".
 const UNPIVOTED: usize = usize::MAX;
@@ -51,6 +83,14 @@ pub enum LuError {
     Singular(usize),
     /// A non-finite value (NaN/∞) appeared during factorization.
     NotFinite,
+    /// A refactorization was attempted with a matrix whose sparsity pattern
+    /// does not match the one the [`SymbolicLu`] was analyzed on.
+    PatternMismatch {
+        /// Non-zero count the symbolic analysis was built for.
+        expected_nnz: usize,
+        /// Non-zero count of the offending matrix.
+        got_nnz: usize,
+    },
 }
 
 impl fmt::Display for LuError {
@@ -63,6 +103,14 @@ impl fmt::Display for LuError {
                 write!(f, "matrix numerically singular at column {col}")
             }
             LuError::NotFinite => write!(f, "non-finite value during factorization"),
+            LuError::PatternMismatch {
+                expected_nnz,
+                got_nnz,
+            } => write!(
+                f,
+                "refactor pattern mismatch: symbolic analysis has {expected_nnz} \
+                 non-zeros, matrix has {got_nnz}"
+            ),
         }
     }
 }
@@ -148,193 +196,7 @@ impl LuFactors {
     ///
     /// See [`LuFactors::factor`].
     pub fn factor_with(a: &CsrMatrix, opts: LuOptions) -> Result<Self, LuError> {
-        if a.rows() != a.cols() {
-            return Err(LuError::NotSquare {
-                rows: a.rows(),
-                cols: a.cols(),
-            });
-        }
-        let n = a.rows();
-        let q = if opts.rcm_ordering {
-            rcm::rcm_order(a.pattern())
-        } else {
-            rcm::natural_order(n)
-        };
-
-        // CSC view of A: csc_col[j] lists (row, value) of column j.
-        let mut csc_colptr = vec![0usize; n + 1];
-        let rp = a.pattern().row_ptr();
-        let ci = a.pattern().col_idx();
-        let vals = a.values();
-        for &c in ci {
-            csc_colptr[c + 1] += 1;
-        }
-        for j in 0..n {
-            csc_colptr[j + 1] += csc_colptr[j];
-        }
-        let nnz = a.nnz();
-        let mut csc_rowidx = vec![0usize; nnz];
-        let mut csc_values = vec![0.0f64; nnz];
-        let mut next = csc_colptr.clone();
-        for r in 0..n {
-            for k in rp[r]..rp[r + 1] {
-                let c = ci[k];
-                let slot = next[c];
-                next[c] += 1;
-                csc_rowidx[slot] = r;
-                csc_values[slot] = vals[k];
-            }
-        }
-
-        let mut l = CscFactor::with_capacity(n, nnz * 4);
-        let mut u = CscFactor::with_capacity(n, nnz * 4);
-        l.colptr.push(0);
-        u.colptr.push(0);
-
-        // pinv[original_row] = factor position, or UNPIVOTED.
-        let mut pinv = vec![UNPIVOTED; n];
-        let mut p = vec![0usize; n];
-
-        // Work arrays.
-        let mut x = vec![0.0f64; n]; // scattered column values, by original row
-        let mut mark = vec![usize::MAX; n]; // last column that visited this row
-        let mut topo: Vec<usize> = Vec::with_capacity(n); // reach, topological order
-        let mut dfs_stack: Vec<(usize, usize)> = Vec::new(); // (row, child cursor)
-
-        for j in 0..n {
-            let col = q[j];
-            // --- Symbolic: compute reach of A(:, col) in the graph of L.
-            topo.clear();
-            for &r0 in &csc_rowidx[csc_colptr[col]..csc_colptr[col + 1]] {
-                if mark[r0] == j {
-                    continue;
-                }
-                // Iterative DFS from r0.
-                dfs_stack.push((r0, 0));
-                mark[r0] = j;
-                while let Some(&mut (r, ref mut cursor)) = dfs_stack.last_mut() {
-                    let pk = pinv[r];
-                    let mut descended = false;
-                    if pk != UNPIVOTED {
-                        let start = l.colptr[pk];
-                        let end = l.colptr[pk + 1];
-                        while start + *cursor < end {
-                            let child = l.rowidx[start + *cursor];
-                            *cursor += 1;
-                            if mark[child] != j {
-                                mark[child] = j;
-                                dfs_stack.push((child, 0));
-                                descended = true;
-                                break;
-                            }
-                        }
-                    }
-                    if !descended {
-                        dfs_stack.pop();
-                        topo.push(r);
-                    }
-                }
-            }
-            // topo is in post-order = reverse topological order for the
-            // elimination DAG; process it reversed.
-
-            // --- Numeric: scatter A(:, col) then eliminate.
-            for k in csc_colptr[col]..csc_colptr[col + 1] {
-                x[csc_rowidx[k]] = csc_values[k];
-            }
-            // Entries reached purely through fill start at zero; x was
-            // zeroed after the previous column, but fill rows not in A's
-            // column still hold stale zeros — ensure they are reset.
-            for &r in topo.iter() {
-                if !x[r].is_finite() {
-                    return Err(LuError::NotFinite);
-                }
-            }
-            for idx in (0..topo.len()).rev() {
-                let r = topo[idx];
-                let pk = pinv[r];
-                if pk == UNPIVOTED {
-                    continue;
-                }
-                let xr = x[r];
-                if xr == 0.0 {
-                    continue;
-                }
-                for t in l.colptr[pk]..l.colptr[pk + 1] {
-                    x[l.rowidx[t]] -= l.values[t] * xr;
-                }
-            }
-
-            // --- Pivot selection among unpivoted reached rows.
-            let mut max_abs = 0.0f64;
-            let mut max_row = UNPIVOTED;
-            for &r in &topo {
-                if pinv[r] == UNPIVOTED {
-                    let v = x[r].abs();
-                    if v > max_abs {
-                        max_abs = v;
-                        max_row = r;
-                    }
-                }
-            }
-            if max_row == UNPIVOTED || max_abs < opts.pivot_epsilon || !max_abs.is_finite() {
-                return Err(LuError::Singular(j));
-            }
-            // Prefer the structural diagonal (original row == col) when it
-            // is large enough.
-            let mut pivot_row = max_row;
-            if pinv[col] == UNPIVOTED
-                && mark[col] == j
-                && x[col].abs() >= opts.diag_preference * max_abs
-                && x[col].abs() >= opts.pivot_epsilon
-            {
-                pivot_row = col;
-            }
-            let pivot_val = x[pivot_row];
-
-            // --- Emit U column j: eliminated rows, then the diagonal.
-            for idx in (0..topo.len()).rev() {
-                let r = topo[idx];
-                let pk = pinv[r];
-                if pk != UNPIVOTED {
-                    u.rowidx.push(pk);
-                    u.values.push(x[r]);
-                }
-            }
-            u.rowidx.push(j);
-            u.values.push(pivot_val);
-            u.colptr.push(u.rowidx.len());
-
-            // --- Emit L column j (original row ids for now).
-            pinv[pivot_row] = j;
-            p[j] = pivot_row;
-            for &r in &topo {
-                if pinv[r] == UNPIVOTED {
-                    let v = x[r] / pivot_val;
-                    if v != 0.0 {
-                        if !v.is_finite() {
-                            return Err(LuError::NotFinite);
-                        }
-                        l.rowidx.push(r);
-                        l.values.push(v);
-                    }
-                }
-            }
-            l.colptr.push(l.rowidx.len());
-
-            // Clear x for the next column.
-            for &r in &topo {
-                x[r] = 0.0;
-            }
-        }
-
-        // Convert L's row indices from original rows to factor positions.
-        for r in &mut l.rowidx {
-            debug_assert!(pinv[*r] != UNPIVOTED);
-            *r = pinv[*r];
-        }
-
-        Ok(Self { n, l, u, p, q })
+        Ok(gp_factor(a, opts)?.1)
     }
 
     /// Matrix dimension.
@@ -358,9 +220,30 @@ impl LuFactors {
     ///
     /// Panics if `b.len() != dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        self.solve_into(b, &mut work, &mut out);
+        out
+    }
+
+    /// Solves `A x = b` into caller-provided buffers, allocating nothing
+    /// once `work` and `out` have grown to `dim()` elements.
+    ///
+    /// The transient Newton loop and the adjoint reverse pass call a solve
+    /// every iteration; this is the allocation-free variant they reuse
+    /// buffers through. Produces bit-identical results to [`solve`].
+    ///
+    /// [`solve`]: LuFactors::solve
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_into(&self, b: &[f64], work: &mut Vec<f64>, out: &mut Vec<f64>) {
         assert_eq!(b.len(), self.n, "solve dimension mismatch");
         // c = P b
-        let mut y: Vec<f64> = (0..self.n).map(|i| b[self.p[i]]).collect();
+        work.clear();
+        work.extend((0..self.n).map(|i| b[self.p[i]]));
+        let y = &mut work[..];
         // L y' = c (unit lower, column-oriented forward substitution)
         for j in 0..self.n {
             let yj = y[j];
@@ -386,11 +269,11 @@ impl LuFactors {
             }
         }
         // x = Q z
-        let mut x = vec![0.0; self.n];
+        out.clear();
+        out.resize(self.n, 0.0);
         for j in 0..self.n {
-            x[self.q[j]] = y[j];
+            out[self.q[j]] = y[j];
         }
-        x
     }
 
     /// Solves `Aᵀ x = b` on the same factorization.
@@ -402,9 +285,27 @@ impl LuFactors {
     ///
     /// Panics if `b.len() != dim()`.
     pub fn solve_transpose(&self, b: &[f64]) -> Vec<f64> {
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        self.solve_transpose_into(b, &mut work, &mut out);
+        out
+    }
+
+    /// Solves `Aᵀ x = b` into caller-provided buffers, allocating nothing
+    /// once `work` and `out` have grown to `dim()` elements. Produces
+    /// bit-identical results to [`solve_transpose`].
+    ///
+    /// [`solve_transpose`]: LuFactors::solve_transpose
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_transpose_into(&self, b: &[f64], work: &mut Vec<f64>, out: &mut Vec<f64>) {
         assert_eq!(b.len(), self.n, "solve_transpose dimension mismatch");
         // c = Qᵀ b
-        let mut y: Vec<f64> = (0..self.n).map(|j| b[self.q[j]]).collect();
+        work.clear();
+        work.extend((0..self.n).map(|j| b[self.q[j]]));
+        let y = &mut work[..];
         // Uᵀ w = c : Uᵀ is lower triangular; row-oriented over U's columns.
         for j in 0..self.n {
             let start = self.u.colptr[j];
@@ -424,17 +325,570 @@ impl LuFactors {
             y[j] = acc;
         }
         // x = Pᵀ z  (x[p[i]] = z[i])
-        let mut x = vec![0.0; self.n];
+        out.clear();
+        out.resize(self.n, 0.0);
         for i in 0..self.n {
-            x[self.p[i]] = y[i];
+            out[self.p[i]] = y[i];
         }
-        x
     }
 
     /// Total fill-in ratio `(l_nnz + u_nnz) / a_nnz` given the original nnz.
     pub fn fill_ratio(&self, a_nnz: usize) -> f64 {
         (self.l_nnz() + self.u_nnz()) as f64 / a_nnz.max(1) as f64
     }
+}
+
+/// The structure half of an LU factorization: ordering, pivot sequence, and
+/// fill pattern, computed once per sparsity pattern.
+///
+/// An analysis runs the full Gilbert–Peierls factorization (values are
+/// needed to *choose* pivots) and records everything that does not depend on
+/// values given that pivot sequence: the RCM column permutation `Q`, the
+/// final row permutation `P`, a scatter plan mapping each CSR value slot of
+/// `A` into factor coordinates, and the complete `L`/`U` fill skeletons with
+/// `U`'s per-column entries stored in elimination order. Note the skeleton
+/// emits *every* reached fill position — no value-dependent pruning — so a
+/// later [`NumericLu::refactor`] with different values on the same pattern
+/// (e.g. the transient `J = G + C/h` after a DC-only `G` analysis) never
+/// lacks a slot.
+///
+/// Pivot validity is the one value-dependent thing a refactorization must
+/// re-check; [`NumericLu::refactor`] reports [`LuError::Singular`] when the
+/// recorded pivot goes numerically bad, and [`LuWorkspace`] answers that
+/// with a fresh analysis.
+#[derive(Debug, Clone)]
+pub struct SymbolicLu {
+    n: usize,
+    nnz: usize,
+    opts: LuOptions,
+    pattern: Arc<Pattern>,
+    /// `q[factor_col] = original_col`.
+    q: Vec<usize>,
+    /// `p[factor_row] = original_row`.
+    p: Vec<usize>,
+    /// Scatter plan: per factor column `j`, slots `a_colptr[j]..a_colptr[j+1]`
+    /// give (destination factor row, source CSR value slot) pairs for the
+    /// entries of `A(:, q[j])`.
+    a_colptr: Vec<usize>,
+    a_rows: Vec<usize>,
+    a_src: Vec<usize>,
+    /// `L` skeleton: factor rows `> j` per column, in emission order.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    /// `U` skeleton: factor rows `< j` per column in elimination order,
+    /// then the diagonal `j` as the last entry.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Analyzes a matrix with default [`LuOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LuError`] under the same conditions as
+    /// [`LuFactors::factor`] — the analysis performs a full pivoting
+    /// factorization on the given values.
+    pub fn analyze(a: &CsrMatrix) -> Result<Self, LuError> {
+        Self::analyze_with(a, LuOptions::default())
+    }
+
+    /// Analyzes with explicit [`LuOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SymbolicLu::analyze`].
+    pub fn analyze_with(a: &CsrMatrix, opts: LuOptions) -> Result<Self, LuError> {
+        Ok(gp_factor(a, opts)?.0)
+    }
+
+    /// Whether `a` has the pattern this analysis was computed on.
+    pub fn matches(&self, a: &CsrMatrix) -> bool {
+        Arc::ptr_eq(&self.pattern, a.pattern())
+            || (self.n == a.rows() && self.n == a.cols() && *self.pattern == **a.pattern())
+    }
+
+    /// Matrix dimension the analysis was computed for.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The options the analysis was computed with.
+    pub fn options(&self) -> LuOptions {
+        self.opts
+    }
+}
+
+/// The values half of an LU factorization: preallocated `L`/`U` storage
+/// refilled by replaying a [`SymbolicLu`]'s recorded elimination.
+///
+/// A refactorization skips ordering, reachability DFS, and pivot search —
+/// it scatters values through the symbolic scatter plan and streams through
+/// the recorded skeleton, which is the KLU refactorization fast path. On
+/// the matrix the analysis was computed from, the resulting factors are
+/// bit-identical to the one-shot [`LuFactors::factor`].
+#[derive(Debug, Clone)]
+pub struct NumericLu {
+    factors: LuFactors,
+    /// Scatter/elimination scratch in factor-row coordinates. Invariant:
+    /// all zeros between calls (error paths re-zero it wholesale).
+    x: Vec<f64>,
+}
+
+impl NumericLu {
+    /// Allocates numeric storage shaped for `sym`.
+    pub fn new(sym: &SymbolicLu) -> Self {
+        let factors = LuFactors {
+            n: sym.n,
+            l: CscFactor {
+                colptr: sym.l_colptr.clone(),
+                rowidx: sym.l_rows.clone(),
+                values: vec![0.0; sym.l_rows.len()],
+            },
+            u: CscFactor {
+                colptr: sym.u_colptr.clone(),
+                rowidx: sym.u_rows.clone(),
+                values: vec![0.0; sym.u_rows.len()],
+            },
+            p: sym.p.clone(),
+            q: sym.q.clone(),
+        };
+        Self {
+            factors,
+            x: vec![0.0; sym.n],
+        }
+    }
+
+    /// Wraps already-computed factors from the analysis pass itself, so the
+    /// first factorization through a [`LuWorkspace`] costs one elimination.
+    fn from_analysis(sym: &SymbolicLu, factors: LuFactors) -> Self {
+        debug_assert_eq!(factors.n, sym.n);
+        Self {
+            factors,
+            x: vec![0.0; sym.n],
+        }
+    }
+
+    /// Replays the recorded elimination with `a`'s values.
+    ///
+    /// # Errors
+    ///
+    /// - [`LuError::PatternMismatch`] if `a`'s pattern is not the analyzed
+    ///   one (the factors keep their previous contents).
+    /// - [`LuError::Singular`] if a recorded pivot position is too small or
+    ///   non-finite for the new values — the recorded pivot *sequence* is
+    ///   no longer valid and a fresh analysis is needed.
+    /// - [`LuError::NotFinite`] if `a` contains or produces non-finite
+    ///   values. After any error the factor contents are unspecified.
+    pub fn refactor(&mut self, sym: &SymbolicLu, a: &CsrMatrix) -> Result<(), LuError> {
+        if !sym.matches(a) {
+            return Err(LuError::PatternMismatch {
+                expected_nnz: sym.nnz,
+                got_nnz: a.nnz(),
+            });
+        }
+        let n = sym.n;
+        let vals = a.values();
+        let x = &mut self.x[..];
+        let l_colptr = &self.factors.l.colptr;
+        let l_rows = &self.factors.l.rowidx;
+        let l_vals = &mut self.factors.l.values;
+        let u_colptr = &self.factors.u.colptr;
+        let u_rows = &self.factors.u.rowidx;
+        let u_vals = &mut self.factors.u.values;
+        for j in 0..n {
+            // Scatter A(:, q[j]) into factor-row coordinates.
+            for k in sym.a_colptr[j]..sym.a_colptr[j + 1] {
+                let v = vals[sym.a_src[k]];
+                if !v.is_finite() {
+                    x.fill(0.0);
+                    return Err(LuError::NotFinite);
+                }
+                x[sym.a_rows[k]] = v;
+            }
+            // Eliminate with the already-refactored columns, in recorded
+            // order. U's column j (minus the trailing diagonal) *is* the
+            // elimination schedule: each entry is a pivotal row in reverse
+            // topological order, so by the time row ρ is read here every
+            // update targeting it has been applied — the value emitted into
+            // U is final, exactly as in the one-shot analysis.
+            let us = u_colptr[j];
+            let ue = u_colptr[j + 1];
+            for t in us..ue - 1 {
+                let rho = u_rows[t];
+                let xr = x[rho];
+                u_vals[t] = xr;
+                if xr == 0.0 {
+                    continue;
+                }
+                for s in l_colptr[rho]..l_colptr[rho + 1] {
+                    x[l_rows[s]] -= l_vals[s] * xr;
+                }
+            }
+            // Validate the recorded pivot against the new values.
+            let pivot = x[j];
+            if !pivot.is_finite() || pivot.abs() < sym.opts.pivot_epsilon {
+                x.fill(0.0);
+                return Err(LuError::Singular(j));
+            }
+            u_vals[ue - 1] = pivot;
+            // Emit L column j.
+            let ls = l_colptr[j];
+            let le = l_colptr[j + 1];
+            for t in ls..le {
+                let v = x[l_rows[t]] / pivot;
+                if !v.is_finite() {
+                    x.fill(0.0);
+                    return Err(LuError::NotFinite);
+                }
+                l_vals[t] = v;
+            }
+            // Clear scratch: the touched set is exactly U column j
+            // (including the diagonal) plus L column j.
+            for t in us..ue {
+                x[u_rows[t]] = 0.0;
+            }
+            for t in ls..le {
+                x[l_rows[t]] = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// The current factors (valid after a successful [`refactor`]).
+    ///
+    /// [`refactor`]: NumericLu::refactor
+    pub fn factors(&self) -> &LuFactors {
+        &self.factors
+    }
+
+    /// Consumes the numeric storage, yielding the factors.
+    pub fn into_factors(self) -> LuFactors {
+        self.factors
+    }
+}
+
+/// A reusable factor-solve workspace: one symbolic analysis amortized
+/// across a whole sequence of same-pattern matrices.
+///
+/// `factor` behaves like [`LuFactors::factor`] call-for-call, but when the
+/// incoming matrix shares the pattern of the cached [`SymbolicLu`] it takes
+/// the values-only [`NumericLu::refactor`] fast path. If a refactorization
+/// reports [`LuError::Singular`] — the recorded pivot sequence went bad for
+/// the new values — the workspace transparently falls back to a fresh
+/// analysis, preserving the one-shot path's per-call pivoting behavior.
+///
+/// Workspaces are how the split threads through the stack: the Newton loop,
+/// transient stepper, DC solver, and adjoint reverse pass each hold one
+/// across all their iterations, and `masc-sweep` seeds one per sweep
+/// instance from a single shared analysis via [`LuWorkspace::with_symbolic`].
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    opts: Option<LuOptions>,
+    symbolic: Option<Arc<SymbolicLu>>,
+    numeric: Option<NumericLu>,
+}
+
+impl LuWorkspace {
+    /// An empty workspace with default [`LuOptions`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty workspace with explicit [`LuOptions`].
+    pub fn with_options(opts: LuOptions) -> Self {
+        Self {
+            opts: Some(opts),
+            symbolic: None,
+            numeric: None,
+        }
+    }
+
+    /// A workspace seeded with an existing (possibly shared) analysis.
+    ///
+    /// The first `factor` call on a matching pattern refactors immediately
+    /// instead of analyzing — this is how sweep instances share one
+    /// [`SymbolicLu`] across threads.
+    pub fn with_symbolic(sym: Arc<SymbolicLu>) -> Self {
+        Self {
+            opts: Some(sym.opts),
+            symbolic: Some(sym),
+            numeric: None,
+        }
+    }
+
+    /// The cached analysis, if any.
+    pub fn symbolic(&self) -> Option<&Arc<SymbolicLu>> {
+        self.symbolic.as_ref()
+    }
+
+    /// Factors `a`, reusing the cached symbolic analysis when the pattern
+    /// matches and re-analyzing otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LuError`] under the same conditions as
+    /// [`LuFactors::factor`]; a stale pivot sequence is retried with a
+    /// fresh analysis rather than surfaced as an error.
+    pub fn factor(&mut self, a: &CsrMatrix) -> Result<&LuFactors, LuError> {
+        let mut refactored = false;
+        if self.symbolic.as_ref().is_some_and(|s| s.matches(a)) {
+            // Clone the Arc so `self.numeric` can be borrowed mutably.
+            if let Some(sym) = self.symbolic.clone() {
+                let num = self
+                    .numeric
+                    .get_or_insert_with(|| NumericLu::new(sym.as_ref()));
+                match num.refactor(sym.as_ref(), a) {
+                    Ok(()) => refactored = true,
+                    // Pivot sequence went numerically bad: fall through to
+                    // a fresh analysis, like an independent factor() would.
+                    Err(LuError::Singular(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if !refactored {
+            let opts = self.opts.unwrap_or_default();
+            let (sym, factors) = gp_factor(a, opts)?;
+            let num = NumericLu::from_analysis(&sym, factors);
+            self.symbolic = Some(Arc::new(sym));
+            self.numeric = Some(num);
+        }
+        match self.numeric.as_ref() {
+            Some(num) => Ok(num.factors()),
+            // Unreachable: `numeric` is populated on every path above;
+            // structured for panic-freedom instead of unwrap.
+            None => Err(LuError::Singular(0)),
+        }
+    }
+}
+
+/// One-pass Gilbert–Peierls factorization that records the symbolic
+/// skeleton alongside the numeric factors.
+///
+/// This is the single implementation behind [`LuFactors::factor_with`]
+/// (which drops the skeleton), [`SymbolicLu::analyze_with`] (which drops
+/// the factors), and [`LuWorkspace::factor`] (which keeps both).
+fn gp_factor(a: &CsrMatrix, opts: LuOptions) -> Result<(SymbolicLu, LuFactors), LuError> {
+    if a.rows() != a.cols() {
+        return Err(LuError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let q = if opts.rcm_ordering {
+        rcm::rcm_order(a.pattern())
+    } else {
+        rcm::natural_order(n)
+    };
+
+    // CSC view of A: csc_col[j] lists (row, value, CSR slot) of column j.
+    let mut csc_colptr = vec![0usize; n + 1];
+    let rp = a.pattern().row_ptr();
+    let ci = a.pattern().col_idx();
+    let vals = a.values();
+    for &c in ci {
+        csc_colptr[c + 1] += 1;
+    }
+    for j in 0..n {
+        csc_colptr[j + 1] += csc_colptr[j];
+    }
+    let nnz = a.nnz();
+    let mut csc_rowidx = vec![0usize; nnz];
+    let mut csc_values = vec![0.0f64; nnz];
+    let mut csc_src = vec![0usize; nnz];
+    let mut next = csc_colptr.clone();
+    for r in 0..n {
+        for k in rp[r]..rp[r + 1] {
+            let c = ci[k];
+            let slot = next[c];
+            next[c] += 1;
+            csc_rowidx[slot] = r;
+            csc_values[slot] = vals[k];
+            csc_src[slot] = k;
+        }
+    }
+
+    let mut l = CscFactor::with_capacity(n, nnz * 4);
+    let mut u = CscFactor::with_capacity(n, nnz * 4);
+    l.colptr.push(0);
+    u.colptr.push(0);
+
+    // pinv[original_row] = factor position, or UNPIVOTED.
+    let mut pinv = vec![UNPIVOTED; n];
+    let mut p = vec![0usize; n];
+
+    // Work arrays.
+    let mut x = vec![0.0f64; n]; // scattered column values, by original row
+    let mut mark = vec![usize::MAX; n]; // last column that visited this row
+    let mut topo: Vec<usize> = Vec::with_capacity(n); // reach, topological order
+    let mut dfs_stack: Vec<(usize, usize)> = Vec::new(); // (row, child cursor)
+
+    for j in 0..n {
+        let col = q[j];
+        // --- Symbolic: compute reach of A(:, col) in the graph of L.
+        topo.clear();
+        for &r0 in &csc_rowidx[csc_colptr[col]..csc_colptr[col + 1]] {
+            if mark[r0] == j {
+                continue;
+            }
+            // Iterative DFS from r0.
+            dfs_stack.push((r0, 0));
+            mark[r0] = j;
+            while let Some(&mut (r, ref mut cursor)) = dfs_stack.last_mut() {
+                let pk = pinv[r];
+                let mut descended = false;
+                if pk != UNPIVOTED {
+                    let start = l.colptr[pk];
+                    let end = l.colptr[pk + 1];
+                    while start + *cursor < end {
+                        let child = l.rowidx[start + *cursor];
+                        *cursor += 1;
+                        if mark[child] != j {
+                            mark[child] = j;
+                            dfs_stack.push((child, 0));
+                            descended = true;
+                            break;
+                        }
+                    }
+                }
+                if !descended {
+                    dfs_stack.pop();
+                    topo.push(r);
+                }
+            }
+        }
+        // topo is in post-order = reverse topological order for the
+        // elimination DAG; process it reversed.
+
+        // --- Numeric: scatter A(:, col) then eliminate.
+        for k in csc_colptr[col]..csc_colptr[col + 1] {
+            x[csc_rowidx[k]] = csc_values[k];
+        }
+        // Entries reached purely through fill start at zero; x was
+        // zeroed after the previous column, but fill rows not in A's
+        // column still hold stale zeros — ensure they are reset.
+        for &r in topo.iter() {
+            if !x[r].is_finite() {
+                return Err(LuError::NotFinite);
+            }
+        }
+        for idx in (0..topo.len()).rev() {
+            let r = topo[idx];
+            let pk = pinv[r];
+            if pk == UNPIVOTED {
+                continue;
+            }
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for t in l.colptr[pk]..l.colptr[pk + 1] {
+                x[l.rowidx[t]] -= l.values[t] * xr;
+            }
+        }
+
+        // --- Pivot selection among unpivoted reached rows.
+        let mut max_abs = 0.0f64;
+        let mut max_row = UNPIVOTED;
+        for &r in &topo {
+            if pinv[r] == UNPIVOTED {
+                let v = x[r].abs();
+                if v > max_abs {
+                    max_abs = v;
+                    max_row = r;
+                }
+            }
+        }
+        if max_row == UNPIVOTED || max_abs < opts.pivot_epsilon || !max_abs.is_finite() {
+            return Err(LuError::Singular(j));
+        }
+        // Prefer the structural diagonal (original row == col) when it
+        // is large enough.
+        let mut pivot_row = max_row;
+        if pinv[col] == UNPIVOTED
+            && mark[col] == j
+            && x[col].abs() >= opts.diag_preference * max_abs
+            && x[col].abs() >= opts.pivot_epsilon
+        {
+            pivot_row = col;
+        }
+        let pivot_val = x[pivot_row];
+
+        // --- Emit U column j: eliminated rows, then the diagonal.
+        for idx in (0..topo.len()).rev() {
+            let r = topo[idx];
+            let pk = pinv[r];
+            if pk != UNPIVOTED {
+                u.rowidx.push(pk);
+                u.values.push(x[r]);
+            }
+        }
+        u.rowidx.push(j);
+        u.values.push(pivot_val);
+        u.colptr.push(u.rowidx.len());
+
+        // --- Emit L column j (original row ids for now). Every unpivoted
+        // reached row is emitted, including exact zeros: the skeleton must
+        // depend only on (pattern, pivot sequence), never on values, or a
+        // refactorization with different values on the same pattern would
+        // silently lack fill slots.
+        pinv[pivot_row] = j;
+        p[j] = pivot_row;
+        for &r in &topo {
+            if pinv[r] == UNPIVOTED {
+                let v = x[r] / pivot_val;
+                if !v.is_finite() {
+                    return Err(LuError::NotFinite);
+                }
+                l.rowidx.push(r);
+                l.values.push(v);
+            }
+        }
+        l.colptr.push(l.rowidx.len());
+
+        // Clear x for the next column.
+        for &r in &topo {
+            x[r] = 0.0;
+        }
+    }
+
+    // Convert L's row indices from original rows to factor positions.
+    for r in &mut l.rowidx {
+        debug_assert!(pinv[*r] != UNPIVOTED);
+        *r = pinv[*r];
+    }
+
+    // --- Record the symbolic skeleton in factor coordinates.
+    let mut a_colptr = Vec::with_capacity(n + 1);
+    let mut a_rows = Vec::with_capacity(nnz);
+    let mut a_src = Vec::with_capacity(nnz);
+    a_colptr.push(0);
+    for &col in q.iter() {
+        for k in csc_colptr[col]..csc_colptr[col + 1] {
+            a_rows.push(pinv[csc_rowidx[k]]);
+            a_src.push(csc_src[k]);
+        }
+        a_colptr.push(a_rows.len());
+    }
+    let sym = SymbolicLu {
+        n,
+        nnz,
+        opts,
+        pattern: Arc::clone(a.pattern()),
+        q: q.clone(),
+        p: p.clone(),
+        a_colptr,
+        a_rows,
+        a_src,
+        l_colptr: l.colptr.clone(),
+        l_rows: l.rowidx.clone(),
+        u_colptr: u.colptr.clone(),
+        u_rows: u.rowidx.clone(),
+    };
+
+    Ok((sym, LuFactors { n, l, u, p, q }))
 }
 
 #[cfg(test)]
@@ -593,6 +1047,171 @@ mod tests {
         .solve(&b);
         for (p, q) in x1.iter().zip(&x2) {
             assert!((p - q).abs() < 1e-9 * (1.0 + q.abs()));
+        }
+    }
+
+    fn assert_factors_bit_equal(a: &LuFactors, b: &LuFactors) {
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.p, b.p);
+        assert_eq!(a.q, b.q);
+        assert_eq!(a.l.colptr, b.l.colptr);
+        assert_eq!(a.l.rowidx, b.l.rowidx);
+        assert_eq!(a.u.colptr, b.u.colptr);
+        assert_eq!(a.u.rowidx, b.u.rowidx);
+        for (x, y) in a.l.values.iter().zip(&b.l.values) {
+            assert_eq!(x.to_bits(), y.to_bits(), "L value mismatch");
+        }
+        for (x, y) in a.u.values.iter().zip(&b.u.values) {
+            assert_eq!(x.to_bits(), y.to_bits(), "U value mismatch");
+        }
+    }
+
+    #[test]
+    fn split_bit_identical_to_oneshot() {
+        let a = csr_from(&[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 3.0)], 2);
+        let oneshot = LuFactors::factor(&a).unwrap();
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        let mut num = NumericLu::new(&sym);
+        num.refactor(&sym, &a).unwrap();
+        assert_factors_bit_equal(&oneshot, num.factors());
+    }
+
+    #[test]
+    fn refactor_new_values_matches_fresh_factor() {
+        let n = 50;
+        let mut entries = Vec::new();
+        for i in 0..n {
+            entries.push((i, i, 2.0 + i as f64 * 0.01));
+            if i > 0 {
+                entries.push((i, i - 1, -1.0));
+                entries.push((i - 1, i, -1.0));
+            }
+        }
+        let a = csr_from(&entries, n);
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        let mut num = NumericLu::new(&sym);
+        // New values on the same pattern (still diagonally dominant so the
+        // recorded pivot sequence stays the one a fresh factor would pick).
+        let mut b = a.clone();
+        for (k, v) in b.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 0.003 * k as f64;
+        }
+        num.refactor(&sym, &b).unwrap();
+        let fresh = LuFactors::factor(&b).unwrap();
+        assert_factors_bit_equal(&fresh, num.factors());
+    }
+
+    #[test]
+    fn refactor_fills_slots_dropped_by_dc_zeros() {
+        // Analysis values with exact zeros at some slots (a DC conductance
+        // matrix scattered onto the G∪C union pattern); refactor with those
+        // slots populated. The skeleton must carry the fill regardless.
+        let zeroed = csr_from(
+            &[
+                (0, 0, 2.0),
+                (0, 1, 0.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, 0.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+            3,
+        );
+        let sym = SymbolicLu::analyze(&zeroed).unwrap();
+        let mut full = zeroed.clone();
+        for v in full.values_mut().iter_mut() {
+            if *v == 0.0 {
+                *v = -0.5;
+            }
+        }
+        let mut num = NumericLu::new(&sym);
+        num.refactor(&sym, &full).unwrap();
+        let fresh = LuFactors::factor(&full).unwrap();
+        assert_factors_bit_equal(&fresh, num.factors());
+        let b = [1.0, 2.0, 3.0];
+        let x = num.factors().solve(&b);
+        let ax = full.mul_vec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn refactor_pattern_mismatch_rejected() {
+        let a = csr_from(&[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 3.0)], 2);
+        let other = csr_from(&[(0, 0, 4.0), (1, 1, 3.0)], 2);
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        let mut num = NumericLu::new(&sym);
+        assert!(matches!(
+            num.refactor(&sym, &other),
+            Err(LuError::PatternMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn workspace_refactors_and_falls_back_on_singular() {
+        // First matrix picks the diagonal pivots; second has zero diagonals
+        // so the recorded sequence is singular — the workspace must fall
+        // back to a fresh analysis and still solve.
+        let a = csr_from(&[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 3.0)], 2);
+        let mut ws = LuWorkspace::new();
+        ws.factor(&a).unwrap();
+        let sym0 = Arc::clone(ws.symbolic().unwrap());
+        let b = csr_from(&[(0, 0, 0.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.0)], 2);
+        let x = ws.factor(&b).unwrap().solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+        // The fallback replaced the cached analysis.
+        assert!(!Arc::ptr_eq(&sym0, ws.symbolic().unwrap()));
+        // And refactoring `a` again through the new symbolic still works.
+        let x = ws.factor(&a).unwrap().solve(&[9.0, 11.0]);
+        assert!((x[0] - 1.6).abs() < 1e-12 && (x[1] - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_matches_oneshot_across_sequence() {
+        let n = 30;
+        let mut entries = Vec::new();
+        for i in 0..n {
+            entries.push((i, i, 3.0 + i as f64 * 0.1));
+            let far = (i * 7) % n;
+            if far != i {
+                entries.push((i, far, -0.25));
+                entries.push((far, i, -0.25));
+            }
+        }
+        let base = csr_from(&entries, n);
+        let mut ws = LuWorkspace::new();
+        for step in 0..4 {
+            let mut m = base.clone();
+            for (k, v) in m.values_mut().iter_mut().enumerate() {
+                *v *= 1.0 + 0.001 * (step * 31 + k) as f64;
+            }
+            let oneshot = LuFactors::factor(&m).unwrap();
+            let ws_factors = ws.factor(&m).unwrap();
+            assert_factors_bit_equal(&oneshot, ws_factors);
+        }
+    }
+
+    #[test]
+    fn solve_into_bit_identical_and_reusable() {
+        let a = csr_from(&[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 3.0)], 2);
+        let lu = LuFactors::factor(&a).unwrap();
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        for b in [[9.0, 11.0], [1.0, -2.0], [0.0, 5.0]] {
+            lu.solve_into(&b, &mut work, &mut out);
+            let reference = lu.solve(&b);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            lu.solve_transpose_into(&b, &mut work, &mut out);
+            let reference = lu.solve_transpose(&b);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -1,7 +1,9 @@
 //! Property tests: sparse LU vs dense reference, pattern invariants
 //! (masc-testkit).
 
-use masc_sparse::{lu::LuOptions, CsrMatrix, LuFactors, Pattern, TripletMatrix};
+use masc_sparse::{
+    lu::LuOptions, CsrMatrix, LuFactors, NumericLu, Pattern, SymbolicLu, TripletMatrix,
+};
 use masc_testkit::gen::{self, Gen};
 use masc_testkit::rng::Rng;
 use masc_testkit::{prop, prop_assert, prop_assert_eq};
@@ -80,6 +82,58 @@ prop! {
         }
         let part = p.partition_uld();
         prop_assert_eq!(part.upper.len() + part.lower.len() + part.diag.len(), p.nnz());
+    }
+
+    fn split_factorization_is_bit_identical_to_one_shot(a in matrices(14)) {
+        // Symbolic analysis + values-only refactor must reproduce the
+        // one-shot factorization exactly: same fill, same pivots, and
+        // bit-identical solves.
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).sin() * 2.0).collect();
+        for rcm in [false, true] {
+            let opts = LuOptions { rcm_ordering: rcm, ..LuOptions::default() };
+            let one_shot = LuFactors::factor_with(&a, opts).unwrap();
+            let sym = SymbolicLu::analyze_with(&a, opts).unwrap();
+            prop_assert!(sym.matches(&a));
+            let mut num = NumericLu::new(&sym);
+            num.refactor(&sym, &a).unwrap();
+            let split = num.factors();
+            prop_assert_eq!(split.l_nnz(), one_shot.l_nnz());
+            prop_assert_eq!(split.u_nnz(), one_shot.u_nnz());
+            let xs = split.solve(&b);
+            let xo = one_shot.solve(&b);
+            for (s, o) in xs.iter().zip(&xo) {
+                prop_assert_eq!(s.to_bits(), o.to_bits());
+            }
+            let ts = split.solve_transpose(&b);
+            let to = one_shot.solve_transpose(&b);
+            for (s, o) in ts.iter().zip(&to) {
+                prop_assert_eq!(s.to_bits(), o.to_bits());
+            }
+        }
+    }
+
+    fn refactor_with_new_values_matches_fresh_factor(a in matrices(14)) {
+        // Reusing one symbolic analysis across a family of matrices with
+        // the same pattern must give the same answers as factoring each
+        // matrix from scratch.
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos() + 0.25).collect();
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        let mut num = NumericLu::new(&sym);
+        for scale in [1.0, 1.5, 0.25, 7.0] {
+            let mut scaled = a.clone();
+            for v in scaled.values_mut() {
+                *v *= scale;
+            }
+            num.refactor(&sym, &scaled).unwrap();
+            let fresh = LuFactors::factor_with(&scaled, sym.options()).unwrap();
+            let xr = num.factors().solve(&b);
+            let xf = fresh.solve(&b);
+            for (r, f) in xr.iter().zip(&xf) {
+                prop_assert_eq!(r.to_bits(), f.to_bits());
+            }
+        }
     }
 
     fn mul_vec_transpose_consistent(a in matrices(10)) {

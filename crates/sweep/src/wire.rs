@@ -1,0 +1,395 @@
+//! Super-tensor wire format: one framed stream holding every instance's
+//! compressed `G`/`C` blocks for a whole sweep.
+//!
+//! A sweep of `N` parameter variants over `T + 1` timesteps (DC included)
+//! produces, per timestep, one *super-block group*: instance 0's block from
+//! the ordinary temporal chain (seeded at the newest step, exactly as a
+//! single-run tensor) and instances `1..N` as era-3 cross-instance blocks,
+//! each encoded against instance `k − 1`'s raw values at the same step.
+//! This module only frames those blocks; the block payloads themselves are
+//! `masc-compress` streams.
+//!
+//! ```text
+//! [u8 version = 1]
+//! [varint n_instances] [varint n_blocks] [varint g_nnz] [varint c_nnz]
+//! for t in 0..n_blocks:
+//!     for k in 0..n_instances: [varint len] [G block bytes]
+//!     for k in 0..n_instances: [varint len] [C block bytes]
+//! ```
+//!
+//! The decode path is panic-free and every allocation sized by decoded
+//! data is bounded (`masc-lint` rules R1/R2 gate this file): the block
+//! table claim is validated against the physical stream length — every
+//! block costs at least its one-byte length prefix, so a table larger than
+//! the stream is structurally impossible and rejected before allocation.
+
+use core::fmt;
+use masc_bitio::bounded::{self, AllocBoundError};
+use masc_bitio::varint;
+
+/// Current wire version; bumped on any layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// The fixed-shape parameters of a super-tensor stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperTensorHeader {
+    /// Sweep instances (parameter variants), `>= 1`.
+    pub n_instances: usize,
+    /// Timesteps stored, DC point included.
+    pub n_blocks: usize,
+    /// Non-zeros of the `G` sub-pattern (block payload sanity check).
+    pub g_nnz: usize,
+    /// Non-zeros of the `C` sub-pattern.
+    pub c_nnz: usize,
+}
+
+/// Errors from super-tensor framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended before the framing said it would.
+    Truncated,
+    /// The stream is internally inconsistent.
+    Corrupt(&'static str),
+    /// A decoded size claim exceeded its hard limit.
+    Alloc(AllocBoundError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "super-tensor stream truncated"),
+            WireError::Corrupt(what) => write!(f, "super-tensor stream corrupt: {what}"),
+            WireError::Alloc(e) => write!(f, "super-tensor stream corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<AllocBoundError> for WireError {
+    fn from(e: AllocBoundError) -> Self {
+        WireError::Alloc(e)
+    }
+}
+
+impl From<masc_bitio::varint::VarintError> for WireError {
+    fn from(e: masc_bitio::varint::VarintError) -> Self {
+        match e {
+            masc_bitio::varint::VarintError::Truncated => WireError::Truncated,
+            masc_bitio::varint::VarintError::Overflow => WireError::Corrupt("varint overflow"),
+        }
+    }
+}
+
+/// Serializes a super-tensor. `g_blocks[t][k]` / `c_blocks[t][k]` hold the
+/// compressed block of instance `k` at step `t`; the tables must be
+/// rectangular and match the header's shape.
+///
+/// # Errors
+///
+/// Returns [`WireError::Corrupt`] if a table's shape disagrees with the
+/// header.
+pub fn encode_super_tensor(
+    header: &SuperTensorHeader,
+    g_blocks: &[Vec<Vec<u8>>],
+    c_blocks: &[Vec<Vec<u8>>],
+) -> Result<Vec<u8>, WireError> {
+    if g_blocks.len() != header.n_blocks || c_blocks.len() != header.n_blocks {
+        return Err(WireError::Corrupt("block table height != n_blocks"));
+    }
+    let payload: usize = g_blocks
+        .iter()
+        .chain(c_blocks)
+        .flat_map(|row| row.iter().map(Vec::len))
+        .sum();
+    let mut out = Vec::with_capacity(payload + 16 * header.n_blocks + 16);
+    out.push(WIRE_VERSION);
+    varint::write_u64(&mut out, header.n_instances as u64);
+    varint::write_u64(&mut out, header.n_blocks as u64);
+    varint::write_u64(&mut out, header.g_nnz as u64);
+    varint::write_u64(&mut out, header.c_nnz as u64);
+    for (g_row, c_row) in g_blocks.iter().zip(c_blocks) {
+        if g_row.len() != header.n_instances || c_row.len() != header.n_instances {
+            return Err(WireError::Corrupt("block table width != n_instances"));
+        }
+        for block in g_row.iter().chain(c_row) {
+            varint::write_u64(&mut out, block.len() as u64);
+            out.extend_from_slice(block);
+        }
+    }
+    Ok(out)
+}
+
+/// Parsed block offsets of a super-tensor stream. The index borrows
+/// nothing: block payloads are looked up against the original byte slice
+/// via [`g_block`](Self::g_block)/[`c_block`](Self::c_block), so a reverse
+/// pass can hold one index while streaming through the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperTensorIndex {
+    header: SuperTensorHeader,
+    /// `(offset, len)` of block `[t * n_instances + k]`.
+    g: Vec<(usize, usize)>,
+    c: Vec<(usize, usize)>,
+}
+
+impl SuperTensorIndex {
+    /// Parses the framing of `bytes`, validating every offset against the
+    /// physical stream length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, unknown version, impossible
+    /// shape claims, or trailing garbage.
+    pub fn parse(bytes: &[u8]) -> Result<Self, WireError> {
+        let version = *bytes.first().ok_or(WireError::Truncated)?;
+        if version != WIRE_VERSION {
+            return Err(WireError::Corrupt("unknown super-tensor version"));
+        }
+        let mut pos = 1usize;
+        let read = |pos: &mut usize| -> Result<u64, WireError> {
+            let (v, used) = varint::read_u64(bytes.get(*pos..).ok_or(WireError::Truncated)?)?;
+            *pos += used;
+            Ok(v)
+        };
+        let n_instances = read(&mut pos)? as usize;
+        let n_blocks = read(&mut pos)? as usize;
+        let g_nnz = read(&mut pos)? as usize;
+        let c_nnz = read(&mut pos)? as usize;
+        if n_instances == 0 {
+            return Err(WireError::Corrupt("zero-instance super-tensor"));
+        }
+        // Every block costs at least its one-byte length prefix, so a
+        // table wider than the remaining stream is a hostile claim.
+        let per_tensor = n_blocks
+            .checked_mul(n_instances)
+            .ok_or(WireError::Corrupt("block table size overflow"))?;
+        let entries = per_tensor
+            .checked_mul(2)
+            .ok_or(WireError::Corrupt("block table size overflow"))?;
+        bounded::check_claim("super-tensor block table", entries, bytes.len())?;
+        let mut g: Vec<(usize, usize)> =
+            bounded::bounded_capacity("super-tensor G table", per_tensor, bytes.len())?;
+        let mut c: Vec<(usize, usize)> =
+            bounded::bounded_capacity("super-tensor C table", per_tensor, bytes.len())?;
+        for _ in 0..n_blocks {
+            for table in [&mut g, &mut c] {
+                for _ in 0..n_instances {
+                    let len = read(&mut pos)? as usize;
+                    let end = pos.checked_add(len).ok_or(WireError::Truncated)?;
+                    if end > bytes.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    table.push((pos, len));
+                    pos = end;
+                }
+            }
+        }
+        if pos != bytes.len() {
+            return Err(WireError::Corrupt("trailing bytes after super-tensor"));
+        }
+        Ok(Self {
+            header: SuperTensorHeader {
+                n_instances,
+                n_blocks,
+                g_nnz,
+                c_nnz,
+            },
+            g,
+            c,
+        })
+    }
+
+    /// The stream's shape.
+    pub fn header(&self) -> &SuperTensorHeader {
+        &self.header
+    }
+
+    fn slot(
+        &self,
+        table: &[(usize, usize)],
+        t: usize,
+        k: usize,
+    ) -> Result<(usize, usize), WireError> {
+        if k >= self.header.n_instances {
+            return Err(WireError::Corrupt("instance index out of range"));
+        }
+        let idx = t
+            .checked_mul(self.header.n_instances)
+            .and_then(|base| base.checked_add(k))
+            .ok_or(WireError::Corrupt("block index overflow"))?;
+        table
+            .get(idx)
+            .copied()
+            .ok_or(WireError::Corrupt("step index out of range"))
+    }
+
+    fn block<'a>(
+        &self,
+        bytes: &'a [u8],
+        table: &[(usize, usize)],
+        t: usize,
+        k: usize,
+    ) -> Result<&'a [u8], WireError> {
+        let (offset, len) = self.slot(table, t, k)?;
+        let end = offset.checked_add(len).ok_or(WireError::Truncated)?;
+        bytes.get(offset..end).ok_or(WireError::Truncated)
+    }
+
+    /// Instance `k`'s `G` block at step `t` within `bytes` (the same slice
+    /// [`parse`](Self::parse) indexed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if `t`/`k` are out of range or the slice is
+    /// shorter than the one that was parsed.
+    pub fn g_block<'a>(&self, bytes: &'a [u8], t: usize, k: usize) -> Result<&'a [u8], WireError> {
+        self.block(bytes, &self.g, t, k)
+    }
+
+    /// Instance `k`'s `C` block at step `t` within `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if `t`/`k` are out of range or the slice is
+    /// shorter than the one that was parsed.
+    pub fn c_block<'a>(&self, bytes: &'a [u8], t: usize, k: usize) -> Result<&'a [u8], WireError> {
+        self.block(bytes, &self.c, t, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `table[t][k]` = one instance's block bytes.
+    type BlockTable = Vec<Vec<Vec<u8>>>;
+
+    fn sample() -> (SuperTensorHeader, BlockTable, BlockTable) {
+        let header = SuperTensorHeader {
+            n_instances: 3,
+            n_blocks: 2,
+            g_nnz: 5,
+            c_nnz: 2,
+        };
+        let g = vec![
+            vec![vec![1, 2, 3], vec![4], vec![]],
+            vec![vec![5, 6], vec![7], vec![8, 9, 10, 11]],
+        ];
+        let c = vec![
+            vec![vec![12], vec![], vec![13, 14]],
+            vec![vec![], vec![15], vec![16]],
+        ];
+        (header, g, c)
+    }
+
+    #[test]
+    fn round_trip_every_block() {
+        let (header, g, c) = sample();
+        let bytes = encode_super_tensor(&header, &g, &c).unwrap();
+        let index = SuperTensorIndex::parse(&bytes).unwrap();
+        assert_eq!(*index.header(), header);
+        for t in 0..header.n_blocks {
+            for k in 0..header.n_instances {
+                assert_eq!(index.g_block(&bytes, t, k).unwrap(), g[t][k].as_slice());
+                assert_eq!(index.c_block(&bytes, t, k).unwrap(), c[t][k].as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_lookups_error() {
+        let (header, g, c) = sample();
+        let bytes = encode_super_tensor(&header, &g, &c).unwrap();
+        let index = SuperTensorIndex::parse(&bytes).unwrap();
+        assert!(index.g_block(&bytes, 2, 0).is_err());
+        assert!(index.c_block(&bytes, 0, 3).is_err());
+    }
+
+    #[test]
+    fn ragged_tables_rejected() {
+        let (header, mut g, c) = sample();
+        g[1].pop();
+        assert_eq!(
+            encode_super_tensor(&header, &g, &c),
+            Err(WireError::Corrupt("block table width != n_instances"))
+        );
+        let (header, g, mut c) = sample();
+        c.pop();
+        assert_eq!(
+            encode_super_tensor(&header, &g, &c),
+            Err(WireError::Corrupt("block table height != n_blocks"))
+        );
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let (header, g, c) = sample();
+        let mut bytes = encode_super_tensor(&header, &g, &c).unwrap();
+        bytes[0] = 99;
+        assert_eq!(
+            SuperTensorIndex::parse(&bytes),
+            Err(WireError::Corrupt("unknown super-tensor version"))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (header, g, c) = sample();
+        let mut bytes = encode_super_tensor(&header, &g, &c).unwrap();
+        bytes.push(0);
+        assert_eq!(
+            SuperTensorIndex::parse(&bytes),
+            Err(WireError::Corrupt("trailing bytes after super-tensor"))
+        );
+    }
+
+    #[test]
+    fn hostile_shape_claims_bounded() {
+        // A tiny stream claiming a gigantic block table must fail the
+        // claim check, not abort inside the allocator.
+        let mut bytes = vec![WIRE_VERSION];
+        varint::write_u64(&mut bytes, u64::from(u32::MAX)); // n_instances
+        varint::write_u64(&mut bytes, u64::from(u32::MAX)); // n_blocks
+        varint::write_u64(&mut bytes, 5);
+        varint::write_u64(&mut bytes, 2);
+        assert!(matches!(
+            SuperTensorIndex::parse(&bytes),
+            Err(WireError::Alloc(_) | WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_not_a_panic() {
+        let (header, g, c) = sample();
+        let bytes = encode_super_tensor(&header, &g, &c).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(SuperTensorIndex::parse(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_errors_or_parses() {
+        let (header, g, c) = sample();
+        let bytes = encode_super_tensor(&header, &g, &c).unwrap();
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0xFF;
+            // Either a structured error or a consistent (re-framed) parse;
+            // never a panic or unbounded allocation.
+            let _ = SuperTensorIndex::parse(&mutated);
+        }
+    }
+
+    #[test]
+    fn zero_instance_stream_rejected() {
+        let mut bytes = vec![WIRE_VERSION];
+        varint::write_u64(&mut bytes, 0);
+        varint::write_u64(&mut bytes, 1);
+        varint::write_u64(&mut bytes, 5);
+        varint::write_u64(&mut bytes, 2);
+        assert_eq!(
+            SuperTensorIndex::parse(&bytes),
+            Err(WireError::Corrupt("zero-instance super-tensor"))
+        );
+    }
+}

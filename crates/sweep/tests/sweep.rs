@@ -1,0 +1,227 @@
+//! End-to-end sweep validation: per-instance sensitivities vs finite
+//! differences and vs independent single runs (bit-exact on
+//! current-source decks), super-tensor worker-count invariance, and plan
+//! validation errors.
+
+use masc_adjoint::{fd, run_adjoint, Objective, StoreConfig};
+use masc_circuit::devices::{Capacitor, CurrentSource, Device, Resistor};
+use masc_circuit::transient::TranOptions;
+use masc_circuit::waveform::Waveform;
+use masc_circuit::{Circuit, ParamRef};
+use masc_sweep::{run_sweep, SuperTensorIndex, SweepError, SweepPlan};
+
+/// A current-source-driven RC ladder. I-source MNA systems have no branch
+/// unknowns and a diagonally dominant `G`, so threshold partial pivoting
+/// keeps the structural diagonal for every parameter variant — which is
+/// what makes sweep results bit-comparable to independent runs even when
+/// instances share one symbolic analysis.
+fn ladder(stages: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let nodes: Vec<_> = (0..stages)
+        .map(|s| ckt.node(&format!("n{s}")).unknown())
+        .collect();
+    ckt.add(Device::CurrentSource(CurrentSource::new(
+        "I1",
+        None,
+        nodes[0],
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: 1e-3,
+            td: 0.0,
+            tr: 1e-9,
+            tf: 1e-9,
+            pw: 1.0,
+            per: 2.0,
+        },
+    )))
+    .unwrap();
+    for s in 0..stages {
+        ckt.add(Device::Resistor(Resistor::new(
+            format!("R{s}"),
+            nodes[s],
+            None,
+            1000.0,
+        )))
+        .unwrap();
+        ckt.add(Device::Capacitor(Capacitor::new(
+            format!("C{s}"),
+            nodes[s],
+            None,
+            1e-6,
+        )))
+        .unwrap();
+        if s + 1 < stages {
+            ckt.add(Device::Resistor(Resistor::new(
+                format!("RS{s}"),
+                nodes[s],
+                nodes[s + 1],
+                500.0,
+            )))
+            .unwrap();
+        }
+    }
+    ckt
+}
+
+fn plan_for(base: &Circuit, n_variants: usize, workers: usize) -> SweepPlan {
+    let tran = TranOptions::new(1e-3, 5e-5);
+    let last = base.find_node("n3").unwrap().unknown().unwrap();
+    let first = base.find_node("n0").unwrap().unknown().unwrap();
+    let objectives = vec![
+        Objective::FinalValue { unknown: last },
+        Objective::Integral { unknown: first },
+    ];
+    let params = vec![
+        base.find_param("R0.r").unwrap(),
+        base.find_param("C1.c").unwrap(),
+    ];
+    let r0 = base.find_param("R0.r").unwrap();
+    let c2 = base.find_param("C2.c").unwrap();
+    let mut plan = SweepPlan::new(tran, objectives, params).with_workers(workers);
+    for k in 0..n_variants {
+        plan.push_variant(vec![
+            (r0.clone(), 1000.0 * (1.0 + 0.05 * k as f64)),
+            (c2.clone(), 1e-6 * (1.0 + 0.02 * k as f64)),
+        ]);
+    }
+    plan
+}
+
+fn apply_variant(base: &Circuit, overrides: &[(ParamRef, f64)]) -> Circuit {
+    let mut ckt = base.clone();
+    for (p, v) in overrides {
+        ckt.set_param_value(p, *v);
+    }
+    ckt
+}
+
+#[test]
+fn sweep_matches_finite_difference_per_instance() {
+    let base = ladder(4);
+    let plan = plan_for(&base, 8, 2);
+    let result = run_sweep(&base, &plan).unwrap();
+    assert_eq!(result.sensitivities.len(), 8);
+    assert_eq!(result.stats.steps, 20);
+    for (k, variant) in plan.variants.iter().enumerate() {
+        let ckt = apply_variant(&base, variant);
+        for (i, objective) in plan.objectives.iter().enumerate() {
+            for (j, param) in plan.params.iter().enumerate() {
+                let a = result.sensitivities[k].values[i][j];
+                let f = fd::finite_difference(&ckt, &plan.tran, objective, param, 1e-5).unwrap();
+                let scale = a.abs().max(f.abs());
+                assert!(scale > 1e-15, "instance {k} obj {i} param {j}: both ~0");
+                assert!(
+                    (a - f).abs() / scale <= 1e-6,
+                    "instance {k} obj {i} param {}: adjoint {a:e} vs fd {f:e}",
+                    param.path,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_is_bit_identical_to_independent_single_runs() {
+    let base = ladder(4);
+    let plan = plan_for(&base, 5, 3);
+    let result = run_sweep(&base, &plan).unwrap();
+    for (k, variant) in plan.variants.iter().enumerate() {
+        let mut ckt = apply_variant(&base, variant);
+        let single = run_adjoint(
+            &mut ckt,
+            &plan.tran,
+            &StoreConfig::RawMemory,
+            &plan.objectives,
+            &plan.params,
+        )
+        .unwrap();
+        for (i, row) in single.sensitivities.values.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                let s = result.sensitivities[k].values[i][j];
+                assert_eq!(
+                    s.to_bits(),
+                    v.to_bits(),
+                    "instance {k} obj {i} param {j}: sweep {s:e} vs single {v:e}"
+                );
+            }
+        }
+        for (i, v) in single.objective_values.iter().enumerate() {
+            assert_eq!(result.objective_values[k][i].to_bits(), v.to_bits());
+        }
+    }
+}
+
+#[test]
+fn super_tensor_is_invariant_to_worker_count() {
+    let base = ladder(4);
+    let serial = run_sweep(&base, &plan_for(&base, 8, 1)).unwrap();
+    let threaded = run_sweep(&base, &plan_for(&base, 8, 4)).unwrap();
+    assert_eq!(
+        serial.super_tensor, threaded.super_tensor,
+        "super-tensor bytes must not depend on the worker count"
+    );
+    for (a, b) in serial.sensitivities.iter().zip(&threaded.sensitivities) {
+        for (ra, rb) in a.values.iter().zip(&b.values) {
+            for (va, vb) in ra.iter().zip(rb) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn super_tensor_parses_and_compresses() {
+    let base = ladder(4);
+    let plan = plan_for(&base, 8, 2);
+    let result = run_sweep(&base, &plan).unwrap();
+    let index = SuperTensorIndex::parse(&result.super_tensor).unwrap();
+    assert_eq!(index.header().n_instances, 8);
+    assert_eq!(index.header().n_blocks, 21); // DC + 20 steps
+    assert_eq!(result.stats.super_tensor_bytes, result.super_tensor.len());
+    assert!(
+        result.stats.super_tensor_bytes < result.stats.raw_bytes,
+        "super-tensor ({}) should beat raw storage ({})",
+        result.stats.super_tensor_bytes,
+        result.stats.raw_bytes
+    );
+    // Every block is non-empty and addressable.
+    for t in 0..index.header().n_blocks {
+        for k in 0..index.header().n_instances {
+            assert!(!index
+                .g_block(&result.super_tensor, t, k)
+                .unwrap()
+                .is_empty());
+            assert!(!index
+                .c_block(&result.super_tensor, t, k)
+                .unwrap()
+                .is_empty());
+        }
+    }
+}
+
+#[test]
+fn plan_validation_errors() {
+    let base = ladder(4);
+    let empty = plan_for(&base, 0, 1);
+    assert!(matches!(
+        run_sweep(&base, &empty),
+        Err(SweepError::EmptyPlan)
+    ));
+
+    let mut adaptive = plan_for(&base, 2, 1);
+    adaptive.tran = TranOptions::new(1e-3, 5e-5).with_adaptive(8.0, 16.0);
+    assert!(matches!(
+        run_sweep(&base, &adaptive),
+        Err(SweepError::AdaptiveUnsupported)
+    ));
+
+    let mut bogus = plan_for(&base, 2, 1);
+    let mut p = bogus.params[0].clone();
+    p.device = 999;
+    p.path = "R999.r".into();
+    bogus.params.push(p);
+    assert!(matches!(
+        run_sweep(&base, &bogus),
+        Err(SweepError::InvalidParam { .. })
+    ));
+}

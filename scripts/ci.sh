@@ -22,5 +22,10 @@ run cargo run -q --offline --release -p masc-conform -- --budget 30 --seed 4
 # speedup must hold (chunk independence / serial-section regression check).
 run cargo run -q --offline --release -p masc-bench --bin scaling -- \
     --quick --json BENCH_scaling.json --gate 2.5
+# Batched-sweep regression gate: per-instance marginal cost (modeled
+# seconds and wire bytes) at N=8 must come in under 0.6x the N=1 cost
+# (cross-instance predictor / batch-engine economy-of-scale check).
+run cargo run -q --offline --release -p masc-bench --bin sweep -- \
+    --quick --json BENCH_sweep.json --gate 0.6
 
 echo "==> ci: all checks passed"
