@@ -28,11 +28,54 @@ pub(super) struct SpillFile {
     path: PathBuf,
 }
 
+/// Extracts the owning pid from a spill filename of the form
+/// `masc-jacobians-{pid}-{seq}.bin`; any other name yields `None`.
+fn spill_owner(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("masc-jacobians-")?;
+    let rest = rest.strip_suffix(".bin")?;
+    let (pid, seq) = rest.split_once('-')?;
+    if seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    pid.parse::<u64>().ok()
+}
+
+/// Removes spill files stranded in `dir` by processes that died before
+/// their [`SpillFile`] drop could run (a SIGKILL mid-run leaks the file —
+/// nothing else ever reclaims it, so spill directories grow without
+/// bound). A file is reclaimed only when its owning pid is provably dead
+/// (its `/proc/<pid>` entry is gone); files of this process, of any live
+/// pid, or on systems without procfs are never touched, so a concurrent
+/// run's spill is never at risk. Best-effort: I/O failures are ignored.
+pub(super) fn scavenge_stale_spills(dir: &Path) {
+    let procfs = Path::new("/proc");
+    if !procfs.is_dir() {
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let own = u64::from(std::process::id());
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = spill_owner(name) else {
+            continue;
+        };
+        if pid == own || procfs.join(pid.to_string()).exists() {
+            continue;
+        }
+        let _ = std::fs::remove_file(entry.path());
+    }
+}
+
 impl SpillFile {
     /// Creates a uniquely named spill file in `dir`
-    /// (`masc-jacobians-{pid}-{seq}.bin`).
+    /// (`masc-jacobians-{pid}-{seq}.bin`), scavenging any spill files
+    /// stranded there by dead processes first.
     pub(super) fn create_in(dir: &Path) -> Result<Self, StoreError> {
         std::fs::create_dir_all(dir)?;
+        scavenge_stale_spills(dir);
         let seq = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
         let path = dir.join(format!("masc-jacobians-{}-{seq}.bin", std::process::id()));
         let file = File::options()

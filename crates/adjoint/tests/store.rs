@@ -120,6 +120,44 @@ fn hybrid_round_trip() {
     });
 }
 
+/// Opening a spill-backed store scavenges spill files stranded by dead
+/// processes — and only those: files owned by this process, by a live
+/// process, or with foreign names survive untouched.
+#[test]
+fn stale_spill_files_are_scavenged_on_open() {
+    if !std::path::Path::new("/proc").is_dir() {
+        return; // liveness is established via procfs; skip elsewhere
+    }
+    let dir = scratch_dir("spill-scavenge");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Stranded by a provably dead process: pids are capped well below
+    // u32::MAX on Linux, so this owner cannot exist.
+    let stale = dir.join(format!("masc-jacobians-{}-0.bin", u32::MAX));
+    // Looks like a live run of *this* process (a concurrent record).
+    let own = dir.join(format!("masc-jacobians-{}-999999.bin", std::process::id()));
+    // Owned by pid 1, which is always alive.
+    let live = dir.join("masc-jacobians-1-0.bin");
+    // Not a spill filename at all.
+    let foreign = dir.join("masc-jacobians-notapid-0.bin");
+    for f in [&stale, &own, &live, &foreign] {
+        std::fs::write(f, b"x").unwrap();
+    }
+    let record = ForwardRecord::new(
+        layout(&pattern()),
+        &StoreConfig::Disk {
+            dir: dir.clone(),
+            bandwidth: None,
+        },
+    )
+    .unwrap();
+    assert!(!stale.exists(), "dead-process spill must be reclaimed");
+    assert!(own.exists(), "own-process spill must survive");
+    assert!(live.exists(), "live-process spill must survive");
+    assert!(foreign.exists(), "non-spill files must survive");
+    drop(record);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The hybrid store reproduces both tensors *byte-exactly* across the
 /// memory/disk tier boundary, and actually uses both tiers.
 #[test]

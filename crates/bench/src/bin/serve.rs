@@ -1,0 +1,78 @@
+//! Serve-cache economics: cold (miss) vs replay (hit) latency.
+//!
+//! ```text
+//! serve [--quick] [--json <path>] [--gate <min-speedup>]
+//! ```
+//!
+//! `--quick` shrinks the ladder and step count (the CI mode); `--json`
+//! writes the machine-readable results next to the printed table;
+//! `--gate` exits nonzero when the largest workload's hit latency fails
+//! to come in at least the given factor under its miss latency (the CI
+//! regression gate for the serve cache: a hit that silently re-runs the
+//! forward pass, or a decode path that got pathologically slow, shows up
+//! here).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut gate: Option<f64> = None;
+    let mut quick = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json_path = iter.next().cloned(),
+            "--gate" => gate = iter.next().and_then(|v| v.parse().ok()),
+            "--quick" => quick = true,
+            other => {
+                eprintln!(
+                    "unknown argument {other:?} \
+                     (usage: serve [--quick] [--json <path>] [--gate <x>])"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    eprintln!("running serve miss-vs-hit latency ...");
+    let bench = if quick {
+        masc_bench::serve::run_opts(&[8, 16], 150, 2)
+    } else {
+        masc_bench::serve::run()
+    };
+    println!("{}", masc_bench::serve::render(&bench));
+
+    if let Some(path) = json_path {
+        let json = masc_bench::serve::render_json(&bench);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(floor) = gate {
+        // Gate on the largest workload: the bigger the forward pass, the
+        // more a hit has to gain — a regression that shrinks the margin
+        // shows first where the margin should be widest.
+        let Some(p) = bench.points.last() else {
+            eprintln!("gate FAILED: bench produced no points");
+            return ExitCode::FAILURE;
+        };
+        if p.speedup >= floor {
+            eprintln!(
+                "gate ok: cache hit {:.1}x faster than miss at {} stages, >= {floor:.1}x",
+                p.speedup, p.stages
+            );
+        } else {
+            eprintln!(
+                "gate FAILED: cache hit only {:.1}x faster than miss at {} stages \
+                 vs the {floor:.1}x floor",
+                p.speedup, p.stages
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -61,7 +61,14 @@ fn main() -> ExitCode {
             eprintln!("gate FAILED: sweep is missing the N=1 or N=8 point");
             return ExitCode::FAILURE;
         };
-        let sec_ratio = eight.marginal_seconds / one.total_seconds.max(1e-12);
+        // Gate invariant: both sides of the seconds ratio come from the
+        // *modeled* critical path (serial + parallel/N from a serially
+        // measured split), never from wall clock of a threaded run — a
+        // 1–2 core CI box must produce the same ratio as a 32-core one.
+        // (At N=1 the modeled path equals the serial measurement by
+        // construction; using `modeled_seconds` keeps the invariant
+        // explicit rather than coincidental.)
+        let sec_ratio = eight.marginal_seconds / one.modeled_seconds.max(1e-12);
         let byte_ratio = eight.marginal_bytes / (one.super_tensor_bytes.max(1)) as f64;
         if sec_ratio < ceiling && byte_ratio < ceiling {
             eprintln!(

@@ -18,6 +18,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod scaling;
+pub mod serve;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,238 @@
+//! Serve-layer cache economics: cold (miss) vs replay (hit) latency.
+//!
+//! The claim this bench pins is the tentpole of `masc-serve`: a cache hit
+//! answers a sensitivity job by replaying **only the reverse pass** from
+//! the content-addressed compressed tensors — the Newton-iterated forward
+//! transient, the device evaluations, and the compression encode are all
+//! skipped. On a workload whose forward pass does real nonlinear work
+//! (a sine-driven diode ladder, several Newton iterations per step), the
+//! hit must come in far under the miss.
+//!
+//! Both sides are measured serially on one worker (min over repeats, the
+//! stable estimate under additive timer noise), so the ratio is
+//! independent of the machine's core count — the same invariant the
+//! scaling and sweep gates rely on.
+
+use crate::render_table;
+use masc_serve::{JobRequest, ObjectiveSpec, ParamSelector, ServeConfig, Server};
+use std::time::Instant;
+
+/// One ladder-size measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Diode-ladder stages (one nonlinear node each).
+    pub stages: usize,
+    /// Accepted forward steps of the cold run.
+    pub forward_steps: usize,
+    /// Newton iterations of the cold run's forward pass.
+    pub newton_iterations: usize,
+    /// Cold-run latency: full pipeline, cache cold (min over repeats).
+    pub miss_seconds: f64,
+    /// Hit latency: reverse replay from the cached tensors (min over
+    /// repeats).
+    pub hit_seconds: f64,
+    /// `miss_seconds / hit_seconds`.
+    pub speedup: f64,
+    /// Encoded cache-entry footprint in the memory tier.
+    pub entry_bytes: usize,
+}
+
+/// One full miss-vs-hit sweep over ladder sizes.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Per-size results, in the order requested.
+    pub points: Vec<Point>,
+    /// Transient steps per job.
+    pub steps: usize,
+    /// Timing repeats (minimum taken).
+    pub repeats: usize,
+}
+
+/// The workload deck: a sine-driven diode RC ladder. The diodes put
+/// several Newton iterations behind every accepted step, so the forward
+/// pass the cache hit skips carries real cost.
+fn ladder_deck(stages: usize, steps: usize) -> String {
+    let mut deck = String::from("* serve bench diode ladder\nV1 n0 0 SIN(0 1.5 2e7)\n");
+    for s in 0..stages {
+        deck.push_str(&format!("RS{s} n{s} n{} 220\n", s + 1));
+        deck.push_str(&format!("CL{s} n{} 0 3e-12\n", s + 1));
+        deck.push_str(&format!("DL{s} n{} 0 IS=1e-14 CJ0=2p\n", s + 1));
+        deck.push_str(&format!("RG{s} n{} 0 1e5\n", s + 1));
+    }
+    let dt = 5e-9;
+    deck.push_str(&format!(".tran {} {}\n.end\n", dt, dt * steps as f64));
+    deck
+}
+
+fn ladder_request(stages: usize, steps: usize) -> JobRequest {
+    JobRequest {
+        id: "bench".to_string(),
+        objectives: vec![ObjectiveSpec::FinalValue {
+            node: format!("n{stages}"),
+        }],
+        // One parameter keeps the reverse pass lean — the quantity under
+        // test is forward-work avoidance, not gradient fan-out.
+        params: ParamSelector::Named(vec!["RS0.r".to_string()]),
+        deck: ladder_deck(stages, steps),
+    }
+}
+
+/// Runs the miss-vs-hit sweep at default scale.
+pub fn run() -> ServeBench {
+    run_opts(&[8, 16, 32], 400, 3)
+}
+
+/// Runs the sweep over `stage_sizes` ladders for `steps` transient steps,
+/// timing each side `repeats` times and keeping the minimum.
+///
+/// # Panics
+///
+/// Panics if the workload deck fails to run or a resubmission misses the
+/// cache — both indicate a broken serve layer, not a slow machine.
+pub fn run_opts(stage_sizes: &[usize], steps: usize, repeats: usize) -> ServeBench {
+    let mut points = Vec::new();
+    for &stages in stage_sizes {
+        let req = ladder_request(stages, steps);
+        let cfg = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+
+        // Miss side: every repeat gets a fresh server so the cache is
+        // genuinely cold.
+        let mut miss_seconds = f64::INFINITY;
+        let mut forward_steps = 0;
+        let mut newton_iterations = 0;
+        for _ in 0..repeats.max(1) {
+            let server = Server::new(cfg.clone()).expect("bench server");
+            let t0 = Instant::now();
+            let cold = server.submit(&req).expect("bench cold run");
+            miss_seconds = miss_seconds.min(t0.elapsed().as_secs_f64());
+            assert!(!cold.hit, "fresh server must miss");
+            forward_steps = cold.tran_stats.steps;
+            newton_iterations = cold.tran_stats.newton_iterations;
+        }
+
+        // Hit side: one warm server, repeated replays.
+        let server = Server::new(cfg).expect("bench server");
+        let cold = server.submit(&req).expect("bench warmup run");
+        assert!(!cold.hit);
+        let entry_bytes = server.cache_metrics().mem_bytes;
+        let mut hit_seconds = f64::INFINITY;
+        // A hit is ~an order of magnitude cheaper than a miss, so its
+        // single-shot timing is proportionally noisier; triple the repeat
+        // count on this side to stabilize the min.
+        for _ in 0..repeats.max(1) * 3 {
+            let t0 = Instant::now();
+            let hit = server.submit(&req).expect("bench hit run");
+            hit_seconds = hit_seconds.min(t0.elapsed().as_secs_f64());
+            assert!(hit.hit, "warm resubmission must hit");
+            assert_eq!(hit.tran_stats.steps, 0, "hit must skip the forward pass");
+        }
+
+        points.push(Point {
+            stages,
+            forward_steps,
+            newton_iterations,
+            miss_seconds,
+            hit_seconds,
+            speedup: miss_seconds / hit_seconds.max(1e-12),
+            entry_bytes,
+        });
+    }
+    ServeBench {
+        points,
+        steps,
+        repeats,
+    }
+}
+
+/// Renders the sweep as the human-readable results table.
+pub fn render(bench: &ServeBench) -> String {
+    let data: Vec<Vec<String>> = bench
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.stages.to_string(),
+                p.forward_steps.to_string(),
+                p.newton_iterations.to_string(),
+                format!("{:.2}", p.miss_seconds * 1e3),
+                format!("{:.2}", p.hit_seconds * 1e3),
+                format!("{:.1}x", p.speedup),
+                p.entry_bytes.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        &[
+            "Stages",
+            "Steps",
+            "Newton",
+            "Miss ms",
+            "Hit ms",
+            "Speedup",
+            "Entry bytes",
+        ],
+        &data,
+    );
+    out.push_str(&format!(
+        "({} transient steps, min of {} repeats; both sides single-worker serial \
+         wall time, so the ratio is core-count independent)\n",
+        bench.steps, bench.repeats
+    ));
+    out
+}
+
+/// Renders the sweep as the machine-readable `BENCH_serve.json` payload.
+pub fn render_json(bench: &ServeBench) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"family\": \"diode-ladder\", \"steps\": {}, \"repeats\": {}}},\n",
+        bench.steps, bench.repeats
+    ));
+    out.push_str("  \"model\": \"serial-single-worker\",\n  \"points\": [\n");
+    for (i, p) in bench.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"stages\": {}, \"forward_steps\": {}, \"newton_iterations\": {}, \
+             \"miss_seconds\": {:.6}, \"hit_seconds\": {:.6}, \"speedup\": {:.2}, \
+             \"entry_bytes\": {}}}{}\n",
+            p.stages,
+            p.forward_steps,
+            p.newton_iterations,
+            p.miss_seconds,
+            p.hit_seconds,
+            p.speedup,
+            p.entry_bytes,
+            if i + 1 == bench.points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_beat_misses() {
+        let bench = run_opts(&[4], 60, 1);
+        assert_eq!(bench.points.len(), 1);
+        let p = &bench.points[0];
+        assert!(p.forward_steps > 0);
+        assert!(p.newton_iterations > p.forward_steps, "diodes must iterate");
+        assert!(p.entry_bytes > 0);
+        // The CI gate asserts the real margin; at test scale just pin the
+        // direction.
+        assert!(
+            p.speedup > 1.0,
+            "hit must be faster than miss: {:?}",
+            bench.points
+        );
+        let text = render(&bench);
+        assert!(text.contains("Speedup"));
+        let json = render_json(&bench);
+        assert!(json.contains("\"speedup\""));
+    }
+}

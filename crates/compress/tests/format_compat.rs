@@ -9,7 +9,8 @@
 #![allow(clippy::disallowed_methods)] // tests may unwrap
 
 use masc_compress::{
-    decompress_matrix, decompress_matrix_parallel, CompressedTensor, MascConfig, StampMaps,
+    compress_matrix_parallel, decode_block, decompress_matrix, decompress_matrix_parallel,
+    CompressedTensor, MascConfig, StampMaps,
 };
 use masc_sparse::{Pattern, TripletMatrix};
 use std::sync::Arc;
@@ -169,5 +170,119 @@ fn v1_truncated_fixtures_error_not_panic() {
             decompress_matrix_parallel(&bytes[..cut], &reference, &maps, &chunked_cfg(17)).is_err(),
             "cut {cut} should fail"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Era sniff on hostile short streams
+// ---------------------------------------------------------------------------
+//
+// `decode_block` sniffs the era off the first header byte (serial vs
+// chunked via FLAG_CHUNKED, era-1 vs era-2 chunked via FLAG_CHUNK_HEADERS)
+// and dispatches. *Every* strict prefix of a valid stream — any era — must
+// come back as a structured error from the sniffing entry point: never a
+// panic, and never a misclassified decode that "succeeds" on garbage.
+
+fn corpus_v2_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus_v2")
+}
+
+fn fixture_v2(name: &str) -> Vec<u8> {
+    let path = corpus_v2_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+/// Mints `corpus_v2/chunked_headers_17.bin` — the era-2 (chunk-header)
+/// encoding of the same fixed matrix inputs as the era-1 corpus. Frozen
+/// once; rerun only to create the file on a fresh checkout of this test's
+/// first revision, never to regenerate it:
+///
+/// ```sh
+/// MASC_MINT_V2=1 cargo test -p masc-compress --test format_compat mint_v2
+/// ```
+#[test]
+fn mint_v2_fixtures() {
+    if std::env::var_os("MASC_MINT_V2").is_none() {
+        return;
+    }
+    let (p, cur, reference) = matrix_inputs();
+    let maps = StampMaps::new(&p);
+    let (bytes, _) = compress_matrix_parallel(&cur, &reference, &maps, &chunked_cfg(17));
+    std::fs::create_dir_all(corpus_v2_dir()).unwrap();
+    std::fs::write(corpus_v2_dir().join("chunked_headers_17.bin"), bytes).unwrap();
+}
+
+#[test]
+fn v2_chunk_header_fixture_decodes_bit_exact() {
+    let (p, cur, reference) = matrix_inputs();
+    let maps = StampMaps::new(&p);
+    let bytes = fixture_v2("chunked_headers_17.bin");
+    // Era-2 signature: FLAG_CHUNKED (1<<3) and FLAG_CHUNK_HEADERS (1<<5)
+    // both set in the first header byte.
+    assert_eq!(bytes[0] & (1 << 3), 1 << 3, "era-2 stream must be chunked");
+    assert_eq!(
+        bytes[0] & (1 << 5),
+        1 << 5,
+        "era-2 stream carries chunk headers"
+    );
+    for threads in [1usize, 4] {
+        let cfg = MascConfig {
+            threads,
+            ..chunked_cfg(17)
+        };
+        let out = decode_block(&bytes, &reference, &maps, &cfg)
+            .unwrap_or_else(|e| panic!("threads {threads}: {e}"));
+        assert_bits_eq(&out, &cur);
+    }
+}
+
+/// Every strict prefix of every matrix fixture, era-1 and era-2, fed to
+/// the sniffing `decode_block` entry point: structured error, no panic,
+/// no bogus success.
+#[test]
+fn era_sniff_every_prefix_truncation_errors() {
+    let (p, _, reference) = matrix_inputs();
+    let maps = StampMaps::new(&p);
+    let cfg = chunked_cfg(17);
+    let fixtures: Vec<(&str, Vec<u8>)> = vec![
+        ("serial_default.bin", fixture("serial_default.bin")),
+        ("serial_nomarkov.bin", fixture("serial_nomarkov.bin")),
+        ("chunked_17.bin", fixture("chunked_17.bin")),
+        ("chunked_1.bin", fixture("chunked_1.bin")),
+        ("chunked_huge.bin", fixture("chunked_huge.bin")),
+        (
+            "v2/chunked_headers_17.bin",
+            fixture_v2("chunked_headers_17.bin"),
+        ),
+    ];
+    for (name, bytes) in &fixtures {
+        for cut in 0..bytes.len() {
+            let result = decode_block(&bytes[..cut], &reference, &maps, &cfg);
+            assert!(
+                result.is_err(),
+                "{name} truncated to {cut}/{} bytes must error, got Ok",
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// Every strict prefix of the tensor fixtures must fail structured —
+/// either at `from_bytes` framing or when the surviving blocks decode.
+#[test]
+fn tensor_every_prefix_truncation_errors() {
+    for name in ["tensor_serial.bin", "tensor_chunked.bin"] {
+        let bytes = fixture(name);
+        for cut in 0..bytes.len() {
+            let result =
+                CompressedTensor::from_bytes(&bytes[..cut]).and_then(|t| t.decompress_all());
+            assert!(
+                result.is_err(),
+                "{name} truncated to {cut}/{} bytes must error, got Ok",
+                bytes.len()
+            );
+        }
     }
 }

@@ -5,6 +5,7 @@ pub mod cache;
 pub mod codec;
 pub mod matrix;
 pub mod parser;
+pub mod serve;
 pub mod store;
 pub mod sweep;
 pub mod tensor;

@@ -1,0 +1,145 @@
+//! Serve-layer cache oracle.
+//!
+//! `serve-cache` is the end-to-end differential check for the
+//! content-addressed tensor cache: on any runnable generated deck, a
+//! resubmitted job must hit the cache, skip the forward transient
+//! entirely (zero forward steps in the hit telemetry), and return
+//! sensitivities bit-identical to the cold run — and the hit must survive
+//! a server restart over the same cache directory (disk tier).
+
+use crate::oracle::Oracle;
+use masc_serve::{JobRequest, ObjectiveSpec, ParamSelector, ServeConfig, Server};
+use masc_testkit::Rng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "masc-conform-serve-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Bounds a generated deck for an end-to-end serve run; oversized or
+/// tran-less decks are a vacuous pass (fuzz budget control).
+fn decode_request(input: &[u8]) -> Option<JobRequest> {
+    let text = String::from_utf8_lossy(input);
+    let parsed = masc_circuit::parser::parse_netlist(&text).ok()?;
+    let tran = parsed.tran.clone()?;
+    let circuit = &parsed.circuit;
+    if circuit.node_count() == 0
+        || circuit.node_count() > 40
+        || circuit.devices().len() > 80
+        || tran.dt <= 0.0
+        || tran.dt.is_nan()
+        || tran.t_stop / tran.dt > 220.0
+    {
+        return None;
+    }
+    // Objectives reference nodes by name on the wire; pick the first node
+    // that maps to an unknown (node 0 may be ground).
+    let node = (0..circuit.node_count())
+        .map(|i| circuit.node_name(i).to_string())
+        .find(|n| {
+            circuit
+                .find_node(n)
+                .and_then(masc_circuit::Node::unknown)
+                .is_some()
+        })?;
+    Some(JobRequest {
+        id: "conform".to_string(),
+        objectives: vec![
+            ObjectiveSpec::FinalValue { node: node.clone() },
+            ObjectiveSpec::Integral { node },
+        ],
+        params: ParamSelector::All,
+        deck: text.into_owned(),
+    })
+}
+
+fn bits(rows: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    rows.iter()
+        .map(|r| r.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// A resubmitted job hits the cache, skips the forward pass, and matches
+/// the cold run bit for bit — in memory and across a restart.
+pub struct ServeCache;
+
+impl Oracle for ServeCache {
+    fn name(&self) -> &'static str {
+        "serve-cache"
+    }
+
+    fn describe(&self) -> &'static str {
+        "serve cache hits skip the forward pass and match cold runs bit-exact"
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Vec<u8> {
+        crate::oracles::store::deck_gen(rng)
+    }
+
+    fn check(&self, input: &[u8]) -> Result<(), String> {
+        let Some(req) = decode_request(input) else {
+            return Ok(());
+        };
+        let dir = scratch_dir();
+        let cfg = ServeConfig {
+            workers: 1,
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let result = (|| {
+            let server = Server::new(cfg.clone()).map_err(|e| format!("open server: {e}"))?;
+            let cold = match server.submit(&req) {
+                Ok(outcome) => outcome,
+                // A deck the solver rejects (singular matrix, Newton
+                // failure) is a vacuous pass — the cache claim is only
+                // defined for decks the pipeline can run.
+                Err(_) => return Ok(()),
+            };
+            if cold.hit {
+                return Err("first submission reported a cache hit".to_string());
+            }
+            let hit = server
+                .submit(&req)
+                .map_err(|e| format!("resubmission failed where cold run succeeded: {e}"))?;
+            if !hit.hit {
+                return Err("resubmission missed the cache".to_string());
+            }
+            if hit.tran_stats.steps != 0 || hit.tran_stats.newton_iterations != 0 {
+                return Err(format!(
+                    "hit ran the forward pass: steps={} newton={}",
+                    hit.tran_stats.steps, hit.tran_stats.newton_iterations
+                ));
+            }
+            if bits(&hit.sensitivities) != bits(&cold.sensitivities)
+                || hit.objective_values != cold.objective_values
+            {
+                return Err("memory hit diverged from cold run".to_string());
+            }
+            drop(server);
+
+            let reopened = Server::new(cfg).map_err(|e| format!("reopen server: {e}"))?;
+            let disk_hit = reopened
+                .submit(&req)
+                .map_err(|e| format!("post-restart submission failed: {e}"))?;
+            if !disk_hit.hit || reopened.cache_metrics().disk_hits != 1 {
+                return Err("restart lost the disk tier entry".to_string());
+            }
+            if bits(&disk_hit.sensitivities) != bits(&cold.sensitivities) {
+                return Err("disk hit diverged from cold run".to_string());
+            }
+            Ok(())
+        })();
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    }
+
+    fn shrink(&self, input: &[u8]) -> Vec<Vec<u8>> {
+        crate::minimize::line_candidates(input)
+    }
+}

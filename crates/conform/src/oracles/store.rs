@@ -70,7 +70,7 @@ fn decode_deck(input: &[u8], max_params: usize) -> Option<DeckCase> {
     })
 }
 
-fn deck_gen(rng: &mut Rng) -> Vec<u8> {
+pub(crate) fn deck_gen(rng: &mut Rng) -> Vec<u8> {
     let mut deck = gen::netlists(3).generate(rng).into_bytes();
     if rng.below(5) == 0 {
         crate::geninput::mutate(rng, &mut deck);

@@ -1,0 +1,487 @@
+//! Job execution: the cold (full-pipeline) and hit (reverse-only) paths.
+//!
+//! [`resolve`] canonicalizes a wire-level [`JobRequest`] into a
+//! [`ResolvedJob`] — the deck is parsed and re-serialized through
+//! [`write_netlist`] so the cache key addresses deck *content*, not
+//! spelling. [`run_cold`] runs the forward transient through an
+//! asynchronous [`PipelinedStore`] wrapped around a [`CaptureStore`]
+//! (a compressing store that also hands the two sealed tensors back for
+//! caching), then the reverse pass. [`run_hit`] skips the forward pass
+//! entirely: the cached tensors decode newest-first straight into an
+//! [`AdjointCursor`] and the objective values come from the cached
+//! trajectory, so its [`TranStats`] stay at zero steps — the telemetry
+//! proof that the transient never ran.
+//!
+//! Both paths drive the reverse arithmetic identically (same canonical
+//! deck, same fresh per-job cursor workspace, bit-identical decoded
+//! matrices), which is what makes hit results bit-identical to the cold
+//! run that populated the entry.
+
+use crate::cache::{entry_key, CacheEntry};
+use crate::protocol::{JobRequest, ObjectiveSpec, ParamSelector};
+use crate::ServeError;
+use masc_adjoint::store::{
+    BackwardReader, EncodePlan, EncodedBlock, JacobianStore, StepMatrices, StoreError,
+    TensorEncodePlan, TensorLayout,
+};
+use masc_adjoint::{
+    adjoint_sensitivities, AdjointCursor, ForwardRecord, Objective, PipelinedStore, StoreMetrics,
+};
+use masc_circuit::netlist::write_netlist;
+use masc_circuit::parser::parse_netlist;
+use masc_circuit::transient::{transient_ws, TranOptions, TranStats};
+use masc_circuit::{Circuit, ParamRef, System};
+use masc_compress::{CompressedTensor, MascConfig, TensorCompressor};
+use masc_sparse::{LuWorkspace, Pattern, SymbolicLu};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A job after deck canonicalization and name resolution.
+#[derive(Debug, Clone)]
+pub struct ResolvedJob {
+    /// Content-addressed cache key.
+    pub key: u64,
+    /// The canonical (re-serialized) deck text.
+    pub canonical_deck: String,
+    /// Transient options from the deck's `.tran` card.
+    pub tran: TranOptions,
+    /// Objectives resolved to unknown indices.
+    pub objectives: Vec<Objective>,
+    /// Parameters resolved to device-local references.
+    pub params: Vec<ParamRef>,
+    /// Compression configuration (part of the key).
+    pub masc: MascConfig,
+}
+
+/// The answer to one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Whether the reverse pass replayed a cached tensor.
+    pub hit: bool,
+    /// One value per objective.
+    pub objective_values: Vec<f64>,
+    /// `sensitivities[objective][param]`.
+    pub sensitivities: Vec<Vec<f64>>,
+    /// Forward-transient telemetry: `steps == 0` on a cache hit (the
+    /// forward pass never ran).
+    pub tran_stats: TranStats,
+    /// Store telemetry from the run (all zeros on a hit).
+    pub store_metrics: StoreMetrics,
+}
+
+/// Resolves a wire request against its deck: canonicalize, look up
+/// objective nodes and parameter paths, derive the cache key.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] for unparsable decks, decks without `.tran`,
+/// and unknown node/parameter names.
+pub fn resolve(req: &JobRequest, masc: &MascConfig) -> Result<ResolvedJob, ServeError> {
+    let parsed = parse_netlist(&req.deck)?;
+    let tran = parsed.tran.clone().ok_or(ServeError::NoTran)?;
+    let canonical_deck = write_netlist(&parsed);
+    let circuit = &parsed.circuit;
+
+    let mut objectives = Vec::with_capacity(req.objectives.len());
+    for spec in &req.objectives {
+        let unknown = circuit
+            .find_node(spec.node())
+            .and_then(masc_circuit::Node::unknown)
+            .ok_or_else(|| ServeError::UnknownNode(spec.node().to_string()))?;
+        objectives.push(match *spec {
+            ObjectiveSpec::FinalValue { .. } => Objective::FinalValue { unknown },
+            ObjectiveSpec::AtStep { step, .. } => Objective::AtStep { unknown, step },
+            ObjectiveSpec::Integral { .. } => Objective::Integral { unknown },
+            ObjectiveSpec::IntegralSquared { .. } => Objective::IntegralSquared { unknown },
+        });
+    }
+
+    let params = match &req.params {
+        ParamSelector::All => circuit.params(),
+        ParamSelector::Named(paths) => {
+            let mut params = Vec::with_capacity(paths.len());
+            for path in paths {
+                params.push(
+                    circuit
+                        .find_param(path)
+                        .ok_or_else(|| ServeError::UnknownParam(path.clone()))?,
+                );
+            }
+            params
+        }
+    };
+
+    let key = entry_key(&canonical_deck, &tran, masc);
+    Ok(ResolvedJob {
+        key,
+        canonical_deck,
+        tran,
+        objectives,
+        params,
+        masc: masc.clone(),
+    })
+}
+
+/// Rejects `at:<step>` objectives that point past the recorded waveform
+/// (they would otherwise index out of bounds when evaluated).
+fn validate_steps(objectives: &[Objective], n_times: usize) -> Result<(), ServeError> {
+    let max = n_times.saturating_sub(1);
+    for o in objectives {
+        if let Objective::AtStep { step, .. } = *o {
+            if step > max {
+                return Err(ServeError::StepOutOfRange { step, max });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The sealed-tensor hand-off slot a [`CaptureStore`] fills at `finish`.
+pub type TensorSlot = Arc<Mutex<Option<(CompressedTensor, CompressedTensor)>>>;
+
+/// A compressing Jacobian store that, on `finish`, clones its two sealed
+/// [`CompressedTensor`]s into a shared slot before handing the reverse
+/// pass its decoder — the cold path's bridge between "serve this job" and
+/// "cache this job's tensors". Mirrors
+/// [`CompressedStore`](masc_adjoint::CompressedStore), including the
+/// encode plan that lets a [`PipelinedStore`] pool compress blocks out of
+/// band.
+#[derive(Debug)]
+pub struct CaptureStore {
+    g: TensorCompressor,
+    c: TensorCompressor,
+    g_accounted: usize,
+    c_accounted: usize,
+    metrics: StoreMetrics,
+    slot: TensorSlot,
+}
+
+impl CaptureStore {
+    /// Creates a capture store over the layout's two sub-patterns.
+    pub fn new(layout: &TensorLayout, config: MascConfig) -> Self {
+        Self {
+            g: TensorCompressor::new(layout.g_pattern.clone(), config.clone()),
+            c: TensorCompressor::new(layout.c_pattern.clone(), config),
+            g_accounted: 0,
+            c_accounted: 0,
+            metrics: StoreMetrics::default(),
+            slot: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The slot `finish` will deposit the sealed tensors into.
+    pub fn slot(&self) -> TensorSlot {
+        Arc::clone(&self.slot)
+    }
+
+    fn account_sealed(&mut self) {
+        while self.g_accounted < self.g.sealed_len() {
+            let len = self
+                .g
+                .compressed_block(self.g_accounted)
+                .map_or(0, <[u8]>::len);
+            self.metrics.bytes_written += len as u64;
+            self.g_accounted += 1;
+        }
+        while self.c_accounted < self.c.sealed_len() {
+            let len = self
+                .c
+                .compressed_block(self.c_accounted)
+                .map_or(0, <[u8]>::len);
+            self.metrics.bytes_written += len as u64;
+            self.c_accounted += 1;
+        }
+        self.metrics.compress_time = self.g.compress_time() + self.c.compress_time();
+    }
+}
+
+impl JacobianStore for CaptureStore {
+    fn put(&mut self, _step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError> {
+        self.g.push(g);
+        self.c.push(c);
+        self.account_sealed();
+        Ok(())
+    }
+
+    fn encode_plan(&self) -> Option<EncodePlan> {
+        Some(EncodePlan {
+            g: TensorEncodePlan {
+                maps: self.g.maps().clone(),
+                config: self.g.config(),
+            },
+            c: TensorEncodePlan {
+                maps: self.c.maps().clone(),
+                config: self.c.config(),
+            },
+        })
+    }
+
+    fn put_encoded(
+        &mut self,
+        _step: usize,
+        g: EncodedBlock,
+        c: EncodedBlock,
+    ) -> Result<(), StoreError> {
+        self.g.push_encoded(g.bytes, &g.stats);
+        self.c.push_encoded(c.bytes, &c.stats);
+        self.account_sealed();
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.g.memory_bytes() + self.c.memory_bytes()
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut StoreMetrics {
+        &mut self.metrics
+    }
+
+    fn finish(mut self: Box<Self>) -> Result<Box<dyn BackwardReader>, StoreError> {
+        self.g.seal();
+        self.c.seal();
+        self.account_sealed();
+        let this = *self;
+        let g = this.g.finish();
+        let c = this.c.finish();
+        *lock_ignoring_poison(&this.slot) = Some((g.clone(), c.clone()));
+        Ok(Box::new(CaptureReader {
+            g: g.into_backward(),
+            c: c.into_backward(),
+            metrics: this.metrics,
+        }))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[derive(Debug)]
+struct CaptureReader {
+    g: masc_compress::BackwardDecompressor,
+    c: masc_compress::BackwardDecompressor,
+    metrics: StoreMetrics,
+}
+
+impl BackwardReader for CaptureReader {
+    fn fetch(&mut self, step: usize) -> Result<StepMatrices, StoreError> {
+        let (gs, g) = self
+            .g
+            .next_matrix()?
+            .ok_or(StoreError::TensorTruncated { step })?;
+        let (cs, c) = self
+            .c
+            .next_matrix()?
+            .ok_or(StoreError::TensorTruncated { step })?;
+        if gs != step || cs != step {
+            return Err(StoreError::TensorTruncated { step });
+        }
+        Ok(StepMatrices::Stored { g, c })
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut StoreMetrics {
+        &mut self.metrics
+    }
+}
+
+/// Most sparsity patterns whose symbolic analyses the pool retains.
+const MAX_POOL_PATTERNS: usize = 64;
+
+/// A keep-alive pool of [`SymbolicLu`] analyses keyed by sparsity
+/// pattern, so jobs over structurally identical circuits (re-submissions,
+/// parameter studies over one topology) skip the symbolic phase of the
+/// forward solves. The reverse passes deliberately do **not** draw from
+/// the pool: both the cold and hit paths factor their cursors fresh, so
+/// hit results stay bit-identical to cold results regardless of what ran
+/// before.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    map: HashMap<u64, Arc<SymbolicLu>>,
+}
+
+fn pattern_key(pattern: &Pattern) -> u64 {
+    crate::cache::fnv1a_bytes(&pattern.to_compressed_bytes())
+}
+
+impl WorkspacePool {
+    /// A forward-solve workspace, seeded with the pooled symbolic
+    /// analysis when one exists for this pattern.
+    pub fn checkout(&self, pattern: &Pattern) -> LuWorkspace {
+        match self.map.get(&pattern_key(pattern)) {
+            Some(sym) => LuWorkspace::with_symbolic(Arc::clone(sym)),
+            None => LuWorkspace::new(),
+        }
+    }
+
+    /// Returns a workspace's symbolic analysis to the pool.
+    pub fn deposit(&mut self, pattern: &Pattern, ws: &LuWorkspace) {
+        let Some(sym) = ws.symbolic().cloned() else {
+            return;
+        };
+        if self.map.len() >= MAX_POOL_PATTERNS {
+            // The pool is bounded; drop an arbitrary resident analysis.
+            if let Some(k) = self.map.keys().next().copied() {
+                self.map.remove(&k);
+            }
+        }
+        self.map.insert(pattern_key(pattern), sym);
+    }
+
+    /// Number of pooled analyses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+fn elaborate_canonical(job: &ResolvedJob) -> Result<(Circuit, System), ServeError> {
+    let parsed = parse_netlist(&job.canonical_deck)?;
+    let mut circuit = parsed.circuit;
+    let system = circuit.elaborate()?;
+    Ok((circuit, system))
+}
+
+/// Runs the full pipeline for a cache miss: forward transient through a
+/// pipelined capture store, reverse pass over the captured tensors, and
+/// the cache entry to persist.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] if any pipeline stage fails; on error no cache
+/// entry is produced and the pipelined store's worker cleans up after
+/// itself.
+pub fn run_cold(
+    job: &ResolvedJob,
+    pool: &Mutex<WorkspacePool>,
+) -> Result<(JobOutcome, CacheEntry), ServeError> {
+    let (circuit, mut system) = elaborate_canonical(job)?;
+    let layout = TensorLayout::of(&system);
+    let capture = CaptureStore::new(&layout, job.masc.clone());
+    let slot = capture.slot();
+    let store = PipelinedStore::spawn_pool(Box::new(capture), 2, 2, 1);
+    let mut record = ForwardRecord::with_store(layout, Box::new(store));
+
+    let mut lu = lock_ignoring_poison(pool).checkout(&system.pattern);
+    let tran_result = transient_ws(&circuit, &mut system, &job.tran, &mut record, &mut lu)?;
+    lock_ignoring_poison(pool).deposit(&system.pattern, &lu);
+
+    validate_steps(&job.objectives, tran_result.times.len())?;
+    let objective_values: Vec<f64> = job
+        .objectives
+        .iter()
+        .map(|o| o.value(&tran_result.states, &tran_result.steps))
+        .collect();
+
+    let (meta, backward) = record.into_parts()?;
+    let result = adjoint_sensitivities(
+        &circuit,
+        &mut system,
+        &meta,
+        backward,
+        &job.objectives,
+        &job.params,
+    )?;
+    let store_metrics = result.stats.store.clone();
+
+    let tensors = lock_ignoring_poison(&slot).take();
+    let Some((g, c)) = tensors else {
+        // The capture store's finish always fills the slot; an empty slot
+        // means the store was never finished (unreachable in this flow).
+        return Err(ServeError::Store(StoreError::TensorTruncated { step: 0 }));
+    };
+    let outcome = JobOutcome {
+        hit: false,
+        objective_values,
+        sensitivities: result.values,
+        tran_stats: tran_result.stats,
+        store_metrics,
+    };
+    Ok((outcome, CacheEntry { meta, g, c }))
+}
+
+fn same_pattern(a: &Pattern, b: &Pattern) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.row_ptr() == b.row_ptr()
+        && a.col_idx() == b.col_idx()
+}
+
+/// Replays a cached entry: decodes the tensors newest-first straight into
+/// an [`AdjointCursor`], with objective values read off the cached
+/// trajectory. The forward transient never runs — the returned
+/// [`TranStats`] are all zero.
+///
+/// # Errors
+///
+/// Returns a [cache-fault](ServeError::is_cache_fault) error when the
+/// entry does not decode or does not match the job's circuit structure
+/// (the caller discards the entry and re-runs cold), or an ordinary error
+/// if the reverse arithmetic itself fails.
+pub fn run_hit(job: &ResolvedJob, entry: &CacheEntry) -> Result<JobOutcome, ServeError> {
+    let (circuit, mut system) = elaborate_canonical(job)?;
+    let layout = TensorLayout::of(&system);
+    // Hash-collision / stale-entry defense: the cached tensors must match
+    // the job's exact sparsity structure and trajectory shape.
+    if !same_pattern(entry.g.pattern(), &layout.g_pattern)
+        || !same_pattern(entry.c.pattern(), &layout.c_pattern)
+    {
+        return Err(ServeError::CacheMismatch);
+    }
+    let n_times = entry.meta.times.len();
+    if n_times == 0
+        || entry.meta.hs.len() != n_times
+        || entry.meta.states.len() != n_times
+        || entry.g.len() != n_times
+        || entry.c.len() != n_times
+        || entry.meta.states.iter().any(|row| row.len() != system.n)
+    {
+        return Err(ServeError::CacheMismatch);
+    }
+    validate_steps(&job.objectives, n_times)?;
+
+    let objective_values: Vec<f64> = job
+        .objectives
+        .iter()
+        .map(|o| o.value(&entry.meta.states, &entry.meta.hs))
+        .collect();
+
+    let mut cursor =
+        AdjointCursor::new(&circuit, &system, &entry.meta, &job.objectives, &job.params);
+    let mut g_back = entry.g.clone().into_backward();
+    let mut c_back = entry.c.clone().into_backward();
+    loop {
+        match (g_back.next_matrix()?, c_back.next_matrix()?) {
+            (None, None) => break,
+            (Some((gs, g)), Some((cs, c))) if gs == cs => {
+                cursor.offer(&mut system, gs, StepMatrices::Stored { g, c })?;
+            }
+            _ => return Err(ServeError::CacheMismatch),
+        }
+    }
+    let result = cursor.finish();
+    Ok(JobOutcome {
+        hit: true,
+        objective_values,
+        sensitivities: result.values,
+        // Zero steps / zero Newton iterations: the telemetry proof that
+        // the hit path skipped the forward pass entirely.
+        tran_stats: TranStats::default(),
+        store_metrics: StoreMetrics::default(),
+    })
+}

@@ -1,0 +1,105 @@
+//! `masc-serve` binary: line protocol over stdin/stdout by default, or a
+//! Unix domain socket with `--socket <path>` (one connection at a time;
+//! `SHUTDOWN` on any connection stops the listener).
+
+use masc_serve::server::run_lines;
+use masc_serve::{ServeConfig, Server};
+use std::io::BufReader;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cfg: ServeConfig,
+    socket: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: masc-serve [--socket PATH] [--cache-dir DIR] [--workers N] \
+     [--mem-mb N] [--disk-mb N] [--panic-on JOB_ID]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut cfg = ServeConfig::default();
+    let mut socket = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--mem-mb" => {
+                let mb: usize = value("--mem-mb")?
+                    .parse()
+                    .map_err(|e| format!("--mem-mb: {e}"))?;
+                cfg.mem_budget = mb.saturating_mul(1 << 20);
+            }
+            "--disk-mb" => {
+                let mb: usize = value("--disk-mb")?
+                    .parse()
+                    .map_err(|e| format!("--disk-mb: {e}"))?;
+                cfg.disk_budget = mb.saturating_mul(1 << 20);
+            }
+            "--panic-on" => cfg.fault_panic_job = Some(value("--panic-on")?.clone()),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args { cfg, socket })
+}
+
+fn serve_socket(server: &Server, path: &PathBuf) -> Result<(), masc_serve::ServeError> {
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("masc-serve: listening on {}", path.display());
+    for conn in listener.incoming() {
+        let stream = conn?;
+        let reader = BufReader::new(stream.try_clone()?);
+        if run_lines(server, reader, stream)? {
+            break; // explicit SHUTDOWN stops the listener
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::new(args.cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("masc-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &args.socket {
+        Some(path) => serve_socket(&server, path),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            run_lines(&server, stdin.lock(), stdout).map(|_| ())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("masc-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Fault-injection suite: worker death mid-job, corrupt disk cache
+//! entries, concurrent identical jobs, and shutdown with queued work.
+
+#![allow(clippy::disallowed_methods)] // tests may unwrap/expect
+
+use masc_serve::server::run_lines;
+use masc_serve::{JobRequest, ObjectiveSpec, ParamSelector, ServeConfig, Server};
+use std::path::PathBuf;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("masc-serve-fault-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ladder_deck(sections: usize) -> String {
+    let mut deck = String::from("* fault test ladder\nI1 n0 0 DC 1e-3\nR0 n0 0 2000\n");
+    for s in 0..sections {
+        deck.push_str(&format!("RL{s} n{s} n{} {}\n", s + 1, 1000 + 10 * s));
+        deck.push_str(&format!("CL{s} n{} 0 1e-9\n", s + 1));
+        deck.push_str(&format!("RG{s} n{} 0 1e6\n", s + 1));
+    }
+    deck.push_str(".tran 0.2u 20u\n.end\n");
+    deck
+}
+
+fn ladder_request(id: &str, sections: usize) -> JobRequest {
+    JobRequest {
+        id: id.to_string(),
+        objectives: vec![ObjectiveSpec::FinalValue {
+            node: "n1".to_string(),
+        }],
+        params: ParamSelector::All,
+        deck: ladder_deck(sections),
+    }
+}
+
+fn bits(rows: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    rows.iter()
+        .map(|r| r.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// A worker that dies mid-job answers that job with an `ERR … panic` line
+/// and keeps serving subsequent jobs on the same connection.
+#[test]
+fn worker_death_mid_job_is_absorbed() {
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        fault_panic_job: Some("boom".to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("server");
+    let deck = masc_serve::protocol::escape_deck(&ladder_deck(2));
+    let input =
+        format!("SOLVE boom final:n1 * {deck}\nSOLVE ok final:n1 * {deck}\nSTATS\nSHUTDOWN\n");
+    let mut output = Vec::new();
+
+    // The injected panic unwinds inside the worker; the default panic hook
+    // would spam stderr, so silence it for the duration.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = run_lines(&server, input.as_bytes(), &mut output);
+    std::panic::set_hook(prev_hook);
+    assert!(result.expect("loop survives the panic"));
+
+    let text = String::from_utf8(output).expect("utf8 output");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines[0].starts_with("ERR boom panic "),
+        "panicking job answers with a structured error: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].starts_with("OK ok miss "),
+        "the same worker keeps serving: {}",
+        lines[1]
+    );
+    assert!(lines[2].contains("worker_panics=1"), "{}", lines[2]);
+    assert_eq!(server.worker_panics(), 1);
+}
+
+/// A corrupt on-disk entry is a miss plus a cold rerun, never a panic,
+/// and the rerun's answer is bit-identical to an uncorrupted run.
+#[test]
+fn corrupt_disk_entry_degrades_to_cold_rerun() {
+    let dir = scratch_dir("corrupt");
+    let cfg = ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let req = ladder_request("j", 2);
+
+    let first = Server::new(cfg.clone()).expect("server");
+    let cold = first.submit(&req).expect("cold run");
+    drop(first);
+
+    // Flip a byte in the middle of every persisted entry.
+    let mut flipped = 0;
+    for f in std::fs::read_dir(&dir).expect("cache dir") {
+        let path = f.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "msc") {
+            let mut bytes = std::fs::read(&path).expect("entry bytes");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&path, bytes).expect("rewrite entry");
+            flipped += 1;
+        }
+    }
+    assert_eq!(flipped, 1, "exactly one entry persisted");
+
+    let second = Server::new(cfg).expect("reopened server");
+    let rerun = second
+        .submit(&req)
+        .expect("corrupt entry degrades, not fails");
+    assert!(!rerun.hit, "corrupt entry must not present as a hit");
+    assert_eq!(bits(&rerun.sensitivities), bits(&cold.sensitivities));
+    let m = second.cache_metrics();
+    assert_eq!(m.corrupt_entries, 1);
+    assert_eq!(m.disk_hits, 0);
+    assert_eq!(second.cold_runs(), 1);
+    // The rerun re-persisted a good entry; a fresh probe hits.
+    let hit = second.submit(&req).expect("hit after repair");
+    assert!(hit.hit);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two identical jobs submitted concurrently run the pipeline once; the
+/// follower coalesces behind the leader and replays the cached entry.
+#[test]
+fn concurrent_identical_jobs_single_flight() {
+    let server = Server::new(ServeConfig::default()).expect("server");
+    let req = ladder_request("j", 3);
+
+    let (a, b) = std::thread::scope(|scope| {
+        let ta = scope.spawn(|| server.submit(&req).expect("submit a"));
+        let tb = scope.spawn(|| server.submit(&req).expect("submit b"));
+        (ta.join().expect("join a"), tb.join().expect("join b"))
+    });
+
+    assert_eq!(
+        server.cold_runs(),
+        1,
+        "identical concurrent jobs must share one pipeline run"
+    );
+    assert_eq!(bits(&a.sensitivities), bits(&b.sensitivities));
+    assert_eq!(a.objective_values, b.objective_values);
+    // One of the two was served without a cold run (hit or coalesced
+    // replay); the cache saw at most one insert.
+    assert_eq!(server.cache_metrics().inserts, 1);
+}
+
+/// `SHUTDOWN` behind a queue of jobs drains the queue — every queued job
+/// is answered before `BYE`, and no temp files are stranded on disk.
+#[test]
+fn shutdown_drains_queued_jobs_and_strands_no_files() {
+    let dir = scratch_dir("drain");
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("server");
+    // Three distinct decks so each queued job is real work.
+    let mut input = String::new();
+    for (i, sections) in [2usize, 3, 4].iter().enumerate() {
+        let deck = masc_serve::protocol::escape_deck(&ladder_deck(*sections));
+        input.push_str(&format!("SOLVE q{i} final:n1 * {deck}\n"));
+    }
+    input.push_str("SHUTDOWN\n");
+    let mut output = Vec::new();
+    let got_shutdown = run_lines(&server, input.as_bytes(), &mut output).expect("loop completes");
+    assert!(got_shutdown);
+
+    let text = String::from_utf8(output).expect("utf8 output");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "three answers plus BYE: {text}");
+    for i in 0..3 {
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with(&format!("OK q{i} miss "))),
+            "queued job q{i} must be answered before shutdown: {text}"
+        );
+    }
+    assert_eq!(*lines.last().expect("BYE line"), "BYE");
+    assert_eq!(server.jobs(), 3);
+
+    let stranded: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+        .collect();
+    assert!(
+        stranded.is_empty(),
+        "no temp files after shutdown: {stranded:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,211 @@
+//! End-to-end serve tests: miss→hit bit-identity, the forward-pass-skip
+//! telemetry proof, disk-tier restarts, resolution errors, and the wire
+//! protocol loop.
+
+#![allow(clippy::disallowed_methods)] // tests may unwrap/expect
+
+use masc_serve::server::run_lines;
+use masc_serve::{JobRequest, ObjectiveSpec, ParamSelector, ServeConfig, ServeError, Server};
+use std::path::PathBuf;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("masc-serve-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A diode-free RC ladder driven by a DC current source: deterministic,
+/// a few hundred accepted steps, every internal node grounded through a
+/// bleed resistor.
+fn ladder_deck(sections: usize) -> String {
+    let mut deck = String::from("* serve test ladder\nI1 n0 0 DC 1e-3\nR0 n0 0 2000\n");
+    for s in 0..sections {
+        deck.push_str(&format!("RL{s} n{s} n{} {}\n", s + 1, 1000 + 10 * s));
+        deck.push_str(&format!("CL{s} n{} 0 1e-9\n", s + 1));
+        deck.push_str(&format!("RG{s} n{} 0 1e6\n", s + 1));
+    }
+    deck.push_str(".tran 0.2u 20u\n.end\n");
+    deck
+}
+
+fn ladder_request(id: &str, sections: usize) -> JobRequest {
+    JobRequest {
+        id: id.to_string(),
+        objectives: vec![
+            ObjectiveSpec::FinalValue {
+                node: "n1".to_string(),
+            },
+            ObjectiveSpec::Integral {
+                node: format!("n{sections}"),
+            },
+        ],
+        params: ParamSelector::All,
+        deck: ladder_deck(sections),
+    }
+}
+
+fn bits(rows: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    rows.iter()
+        .map(|r| r.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn hit_skips_forward_pass_and_is_bit_identical() {
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server");
+    let req = ladder_request("j", 3);
+
+    let cold = server.submit(&req).expect("cold run");
+    assert!(!cold.hit);
+    assert!(
+        cold.tran_stats.steps > 0,
+        "cold run must step the transient"
+    );
+    assert!(cold.store_metrics.bytes_written > 0);
+    assert_eq!(cold.objective_values.len(), 2);
+    assert!(!cold.sensitivities.is_empty());
+
+    let hit = server.submit(&req).expect("hit run");
+    assert!(hit.hit);
+    assert_eq!(
+        hit.tran_stats.steps, 0,
+        "hit must not run the forward transient"
+    );
+    assert_eq!(hit.tran_stats.newton_iterations, 0);
+    assert_eq!(hit.store_metrics.bytes_written, 0);
+    assert_eq!(hit.objective_values, cold.objective_values);
+    assert_eq!(
+        bits(&hit.sensitivities),
+        bits(&cold.sensitivities),
+        "hit sensitivities must be bit-identical to the cold run"
+    );
+
+    let m = server.cache_metrics();
+    assert_eq!(m.misses, 1);
+    assert_eq!(m.hits, 1);
+    assert_eq!(m.mem_hits, 1);
+    assert_eq!(m.inserts, 1);
+    assert_eq!(server.cold_runs(), 1);
+    assert_eq!(server.jobs(), 2);
+}
+
+#[test]
+fn disk_tier_survives_server_restart() {
+    let dir = scratch_dir("restart");
+    let cfg = ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let req = ladder_request("j", 2);
+
+    let first = Server::new(cfg.clone()).expect("server");
+    let cold = first.submit(&req).expect("cold run");
+    drop(first);
+
+    let second = Server::new(cfg).expect("reopened server");
+    let hit = second.submit(&req).expect("disk hit");
+    assert!(hit.hit);
+    assert_eq!(hit.tran_stats.steps, 0);
+    assert_eq!(bits(&hit.sensitivities), bits(&cold.sensitivities));
+    let m = second.cache_metrics();
+    assert_eq!(m.disk_hits, 1);
+    assert_eq!(second.cold_runs(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resolution_errors_are_structured() {
+    let server = Server::new(ServeConfig::default()).expect("server");
+
+    let mut bad_node = ladder_request("j", 2);
+    bad_node.objectives = vec![ObjectiveSpec::FinalValue {
+        node: "zz".to_string(),
+    }];
+    assert!(matches!(
+        server.submit(&bad_node),
+        Err(ServeError::UnknownNode(n)) if n == "zz"
+    ));
+
+    let mut no_tran = ladder_request("j", 2);
+    no_tran.deck = "R1 n1 0 1000\n.end\n".to_string();
+    assert!(matches!(server.submit(&no_tran), Err(ServeError::NoTran)));
+
+    let mut bad_param = ladder_request("j", 2);
+    bad_param.params = ParamSelector::Named(vec!["R9.r".to_string()]);
+    assert!(matches!(
+        server.submit(&bad_param),
+        Err(ServeError::UnknownParam(p)) if p == "R9.r"
+    ));
+
+    let mut bad_step = ladder_request("j", 2);
+    bad_step.objectives = vec![ObjectiveSpec::AtStep {
+        node: "n1".to_string(),
+        step: 1_000_000,
+    }];
+    assert!(matches!(
+        server.submit(&bad_step),
+        Err(ServeError::StepOutOfRange {
+            step: 1_000_000,
+            ..
+        })
+    ));
+
+    // Errors never populate the cache.
+    assert_eq!(server.cache_metrics().inserts, 0);
+}
+
+#[test]
+fn line_protocol_round_trip() {
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server");
+    let deck = masc_serve::protocol::escape_deck(&ladder_deck(2));
+    let input = format!(
+        "SOLVE j1 final:n1 * {deck}\nSOLVE j2 final:n1 * {deck}\nSTATS\nnot a command\nSHUTDOWN\n"
+    );
+    let mut output = Vec::new();
+    let got_shutdown =
+        run_lines(&server, input.as_bytes(), &mut output).expect("protocol loop succeeds");
+    assert!(got_shutdown);
+
+    let text = String::from_utf8(output).expect("utf8 output");
+    // The reader thread answers malformed lines immediately, so the ERR
+    // line may interleave anywhere before BYE; the worker answers queued
+    // requests in FIFO order.
+    assert!(
+        text.lines().any(|l| l.starts_with("ERR - protocol ")),
+        "malformed line answers with a protocol error: {text}"
+    );
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.starts_with("ERR - protocol "))
+        .collect();
+    assert!(
+        lines[0].starts_with("OK j1 miss steps="),
+        "first solve is a miss: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].starts_with("OK j2 hit steps=0 "),
+        "second solve hits with zero forward steps: {}",
+        lines[1]
+    );
+    // Identical job ⇒ identical payload after the hit/miss and steps
+    // tokens (steps legitimately differ: cold counts, hit is 0).
+    let payload = |l: &str| l.splitn(5, ' ').nth(4).map(str::to_string);
+    assert_eq!(payload(lines[0]), payload(lines[1]));
+    assert!(
+        lines[2].starts_with("STATS jobs=2 cold_runs=1 "),
+        "{}",
+        lines[2]
+    );
+    assert_eq!(*lines.last().expect("BYE line"), "BYE");
+}

@@ -3,7 +3,7 @@
 //! current-source decks), super-tensor worker-count invariance, and plan
 //! validation errors.
 
-use masc_adjoint::{fd, run_adjoint, Objective, StoreConfig};
+use masc_adjoint::{fd, run_adjoint, ForwardRecord, Objective, StoreConfig, TensorLayout};
 use masc_circuit::devices::{Capacitor, CurrentSource, Device, Resistor};
 use masc_circuit::transient::TranOptions;
 use masc_circuit::waveform::Waveform;
@@ -196,6 +196,97 @@ fn super_tensor_parses_and_compresses() {
                 .unwrap()
                 .is_empty());
         }
+    }
+}
+
+/// The degenerate N=1 sweep is a plain single run in every observable:
+/// no cross-instance blocks are emitted, the super-tensor's per-step
+/// blocks are byte-identical to the ordinary temporal chain, and the
+/// sensitivities/objective values are bit-identical to `run_adjoint`
+/// over the same compressed store.
+#[test]
+fn single_variant_sweep_is_bit_identical_and_cross_free() {
+    let base = ladder(4);
+    let plan = plan_for(&base, 1, 1);
+    let result = run_sweep(&base, &plan).unwrap();
+    assert_eq!(result.sensitivities.len(), 1);
+
+    // Structure: one instance, and not a single block flagged
+    // cross-instance (FLAG_CROSS_INSTANCE = 1 << 6 in the header byte).
+    let index = SuperTensorIndex::parse(&result.super_tensor).unwrap();
+    assert_eq!(index.header().n_instances, 1);
+    for t in 0..index.header().n_blocks {
+        for bytes in [
+            index.g_block(&result.super_tensor, t, 0).unwrap(),
+            index.c_block(&result.super_tensor, t, 0).unwrap(),
+        ] {
+            assert!(!bytes.is_empty());
+            assert_eq!(
+                bytes[0] & (1 << 6),
+                0,
+                "step {t}: an N=1 sweep must not emit cross-instance blocks"
+            );
+        }
+    }
+
+    // Bit-identity against the plain pipeline with the same compressor.
+    let mut ckt = apply_variant(&base, &plan.variants[0]);
+    let single = run_adjoint(
+        &mut ckt,
+        &plan.tran,
+        &StoreConfig::Compressed(plan.masc.clone()),
+        &plan.objectives,
+        &plan.params,
+    )
+    .unwrap();
+    for (i, row) in single.sensitivities.values.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            assert_eq!(
+                result.sensitivities[0].values[i][j].to_bits(),
+                v.to_bits(),
+                "obj {i} param {j}: sweep vs single run"
+            );
+        }
+    }
+    for (i, v) in single.objective_values.iter().enumerate() {
+        assert_eq!(result.objective_values[0][i].to_bits(), v.to_bits());
+    }
+
+    // The super-tensor's instance-0 blocks ARE the plain temporal chain:
+    // an independently built TensorCompressor over the same forward
+    // series emits byte-identical blocks.
+    let mut system = ckt.elaborate().unwrap();
+    let layout = TensorLayout::of(&system);
+    let mut record = ForwardRecord::new(layout.clone(), &StoreConfig::RawMemory).unwrap();
+    masc_circuit::transient::transient(&ckt, &mut system, &plan.tran, &mut record).unwrap();
+    let (g_series, c_series) = {
+        let (g, c) = record.raw_matrices().unwrap();
+        (g.to_vec(), c.to_vec())
+    };
+    assert_eq!(index.header().n_blocks, g_series.len());
+    let mut tc_g =
+        masc_compress::TensorCompressor::new(layout.g_pattern.clone(), plan.masc.clone());
+    let mut tc_c =
+        masc_compress::TensorCompressor::new(layout.c_pattern.clone(), plan.masc.clone());
+    for g in &g_series {
+        tc_g.push(g);
+    }
+    for c in &c_series {
+        tc_c.push(c);
+    }
+    tc_g.seal();
+    tc_c.seal();
+    for t in 0..index.header().n_blocks {
+        assert_eq!(
+            index.g_block(&result.super_tensor, t, 0).unwrap(),
+            tc_g.compressed_block(t).unwrap(),
+            "G block {t} differs from the plain temporal chain"
+        );
+        assert_eq!(
+            index.c_block(&result.super_tensor, t, 0).unwrap(),
+            tc_c.compressed_block(t).unwrap(),
+            "C block {t} differs from the plain temporal chain"
+        );
     }
 }
 

@@ -27,5 +27,13 @@ run cargo run -q --offline --release -p masc-bench --bin scaling -- \
 # (cross-instance predictor / batch-engine economy-of-scale check).
 run cargo run -q --offline --release -p masc-bench --bin sweep -- \
     --quick --json BENCH_sweep.json --gate 0.6
+# Serve-cache regression gate: a cache hit (reverse replay only) must be
+# at least 5x faster than a cold run on the diode-ladder workload (a hit
+# that re-runs the forward pass, or a slow decode path, shows up here).
+run cargo run -q --offline --release -p masc-bench --bin serve -- \
+    --quick --json BENCH_serve.json --gate 5
+# Serve protocol smoke: pipe a miss, a hit, and a shutdown through the
+# real binary and check the wire answers.
+run scripts/serve_smoke.sh
 
 echo "==> ci: all checks passed"

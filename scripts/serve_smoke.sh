@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the masc-serve binary: a SOLVE miss, an identical
+# SOLVE that must hit with zero forward steps, STATS, and SHUTDOWN with a
+# clean BYE — all over the real stdin/stdout wire.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/masc-serve
+if [[ ! -x "$BIN" ]]; then
+    echo "serve smoke: $BIN not built (run cargo build --release first)" >&2
+    exit 1
+fi
+
+DECK='I1 n0 0 DC 1e-3\nR0 n0 n1 1000\nC1 n1 0 1e-9\nRG1 n1 0 1e6\n.tran 0.2u 20u\n.end'
+OUT=$("$BIN" <<EOF
+SOLVE j1 final:n1 * $DECK
+SOLVE j2 final:n1 * $DECK
+STATS
+SHUTDOWN
+EOF
+)
+
+echo "$OUT"
+grep -q '^OK j1 miss steps=[1-9]' <<<"$OUT" || {
+    echo "serve smoke: first solve did not answer as a miss" >&2
+    exit 1
+}
+grep -q '^OK j2 hit steps=0 ' <<<"$OUT" || {
+    echo "serve smoke: identical resubmission did not hit with zero forward steps" >&2
+    exit 1
+}
+grep -q '^STATS jobs=2 cold_runs=1 ' <<<"$OUT" || {
+    echo "serve smoke: STATS did not report one cold run for two jobs" >&2
+    exit 1
+}
+grep -q '^BYE$' <<<"$OUT" || {
+    echo "serve smoke: shutdown did not answer BYE" >&2
+    exit 1
+}
+# The two answers must agree on everything after the hit/miss and steps
+# tokens (objective values and sensitivities are bit-identical).
+P1=$(grep '^OK j1 ' <<<"$OUT" | cut -d' ' -f5-)
+P2=$(grep '^OK j2 ' <<<"$OUT" | cut -d' ' -f5-)
+if [[ "$P1" != "$P2" ]]; then
+    echo "serve smoke: hit payload diverged from miss payload" >&2
+    echo "  miss: $P1" >&2
+    echo "  hit:  $P2" >&2
+    exit 1
+fi
+echo "serve smoke: ok"
