@@ -3,11 +3,16 @@
 //! A cache entry is everything the reverse pass needs to replay a job
 //! without re-running the forward transient: the recorded trajectory
 //! ([`RunMeta`]) and the two sealed compressed Jacobian tensors. Entries
-//! are keyed by [`entry_key`] — an FNV-1a hash over the *canonical*
-//! netlist text (the deck re-serialized by
+//! are keyed by [`entry_key`] — an FNV-1a hash over the job's
+//! [`job_fingerprint`]: the *canonical* netlist text (the deck
+//! re-serialized by
 //! [`write_netlist`](masc_circuit::netlist::write_netlist), so
 //! whitespace/comment/float-spelling variants of the same deck share an
-//! entry), the transient options, and the [`MascConfig`].
+//! entry), the transient options, and the [`MascConfig`]. The 64-bit key
+//! only addresses; the full fingerprint string is embedded in every
+//! entry and compared verbatim on each hit, so an FNV collision (chance
+//! or constructed) can never serve another job's sensitivities — it is
+//! detected and treated as a miss.
 //!
 //! Two tiers: a byte-bounded in-memory LRU of decoded entries, and a disk
 //! tier of encoded entries (`<key>.msc` files, written
@@ -24,12 +29,16 @@ use masc_compress::{CompressError, CompressedTensor, MascConfig};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
-/// Entry wire-format magic (`MSV1`).
-const MAGIC: [u8; 4] = *b"MSV1";
+/// Entry wire-format magic (`MSV2` — v2 added the embedded fingerprint).
+const MAGIC: [u8; 4] = *b"MSV2";
 /// Most time points one entry may claim (a 4M-step transient).
 const MAX_TIME_POINTS: usize = 1 << 22;
 /// Most state doubles one entry may claim (rows × columns).
 const MAX_STATE_VALUES: usize = 1 << 28;
+/// Most fingerprint bytes one entry may claim (canonical decks are
+/// bounded by the ≤1 MiB wire line they arrived on; 4 MiB leaves room
+/// for unescaping and the option debug strings).
+const MAX_FINGERPRINT_BYTES: usize = 1 << 22;
 
 /// FNV-1a over `bytes` (same constants as `masc-conform` / `masc-testkit`).
 fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
@@ -49,25 +58,32 @@ pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     fnv1a(FNV_OFFSET, bytes)
 }
 
-/// Content-addressed key for one job: canonical deck text + transient
-/// options + compression config. Collisions are defended downstream (a
-/// hit whose tensors don't match the job's sparsity structure is treated
-/// as a miss), so a 64-bit key is sufficient.
-pub fn entry_key(canonical_deck: &str, tran: &TranOptions, masc: &MascConfig) -> u64 {
-    let mut h = fnv1a(FNV_OFFSET, canonical_deck.as_bytes());
+/// The full identity string of one job: canonical deck text + transient
+/// options + compression config, `0x1f`-separated. This is what
+/// [`entry_key`] hashes, and it is stored verbatim inside every encoded
+/// entry so a hit can prove the entry belongs to the job (a 64-bit FNV
+/// key alone is addressable, not collision-proof).
+pub fn job_fingerprint(canonical_deck: &str, tran: &TranOptions, masc: &MascConfig) -> String {
     // `TranOptions`/`MascConfig` Debug output round-trips every f64
-    // shortest-form, so equal configs hash equal and any field change
-    // (tolerances included) changes the key.
-    h = fnv1a(h, &[0x1f]);
-    h = fnv1a(h, format!("{tran:?}").as_bytes());
-    h = fnv1a(h, &[0x1f]);
-    h = fnv1a(h, format!("{masc:?}").as_bytes());
-    h
+    // shortest-form, so equal configs fingerprint equal and any field
+    // change (tolerances included) changes the fingerprint.
+    format!("{canonical_deck}\u{1f}{tran:?}\u{1f}{masc:?}")
+}
+
+/// Content-addressed key for one job: FNV-1a over
+/// [`job_fingerprint`]. Collisions are defended downstream — a hit whose
+/// embedded fingerprint differs from the job's is discarded and treated
+/// as a miss — so a 64-bit key is sufficient for addressing.
+pub fn entry_key(canonical_deck: &str, tran: &TranOptions, masc: &MascConfig) -> u64 {
+    fnv1a_bytes(job_fingerprint(canonical_deck, tran, masc).as_bytes())
 }
 
 /// One decoded cache entry: the full replay state for a job.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
+    /// The [`job_fingerprint`] of the job that produced this entry —
+    /// compared verbatim on every hit to rule out key collisions.
+    pub fingerprint: String,
     /// The recorded forward trajectory.
     pub meta: RunMeta,
     /// The sealed compressed `G` tensor.
@@ -89,6 +105,8 @@ pub enum CacheError {
     Bound(masc_bitio::bounded::AllocBoundError),
     /// A varint failed to decode.
     Varint(masc_bitio::varint::VarintError),
+    /// The embedded fingerprint is not valid UTF-8.
+    BadFingerprint,
     /// The entry's internal lengths disagree.
     LengthMismatch,
     /// An embedded tensor failed to decode.
@@ -105,6 +123,7 @@ impl std::fmt::Display for CacheError {
             CacheError::Checksum => write!(f, "cache entry checksum mismatch"),
             CacheError::Bound(e) => write!(f, "cache entry length claim: {e}"),
             CacheError::Varint(e) => write!(f, "cache entry varint: {e}"),
+            CacheError::BadFingerprint => write!(f, "cache entry fingerprint is not UTF-8"),
             CacheError::LengthMismatch => write!(f, "cache entry internal lengths disagree"),
             CacheError::Tensor(e) => write!(f, "cache entry tensor: {e}"),
             CacheError::Io(e) => write!(f, "cache i/o: {e}"),
@@ -153,6 +172,8 @@ impl From<std::io::Error> for CacheError {
 pub fn encode_entry(entry: &CacheEntry) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
+    varint::write_u64(&mut out, entry.fingerprint.len() as u64);
+    out.extend_from_slice(entry.fingerprint.as_bytes());
     varint::write_u64(&mut out, entry.meta.times.len() as u64);
     for &t in &entry.meta.times {
         out.extend_from_slice(&t.to_le_bytes());
@@ -242,6 +263,14 @@ pub fn decode_entry(bytes: &[u8]) -> Result<CacheEntry, CacheError> {
     }
 
     let mut r = EntryReader { bytes: payload };
+    let fp_len = check_claim(
+        "cache fingerprint bytes",
+        r.u64()? as usize,
+        MAX_FINGERPRINT_BYTES,
+    )?;
+    let fingerprint = std::str::from_utf8(r.take(fp_len)?)
+        .map_err(|_| CacheError::BadFingerprint)?
+        .to_string();
     let n_times = check_claim("cache time points", r.u64()? as usize, MAX_TIME_POINTS)?;
     let times = r.f64s(n_times, "cache times")?;
     let hs = r.f64s(n_times, "cache step sizes")?;
@@ -268,6 +297,7 @@ pub fn decode_entry(bytes: &[u8]) -> Result<CacheEntry, CacheError> {
         return Err(CacheError::LengthMismatch);
     }
     Ok(CacheEntry {
+        fingerprint,
         meta: RunMeta { times, hs, states },
         g,
         c,
@@ -433,14 +463,25 @@ impl TensorCache {
         }
         if self.disk.contains_key(&key) {
             match self.load_disk(key) {
-                Ok(entry) => {
+                Ok((entry, encoded_len)) => {
                     let entry = std::sync::Arc::new(entry);
                     self.metrics.hits += 1;
                     self.metrics.disk_hits += 1;
                     if let Some(d) = self.disk.get_mut(&key) {
                         d.last_used = now;
+                        // Repair a stale indexed size (0 when the open
+                        // scan's metadata call failed) now that the true
+                        // length is known.
+                        if d.bytes != encoded_len {
+                            self.metrics.disk_bytes = self
+                                .metrics
+                                .disk_bytes
+                                .saturating_sub(d.bytes)
+                                .saturating_add(encoded_len);
+                            d.bytes = encoded_len;
+                        }
                     }
-                    self.admit_mem(key, std::sync::Arc::clone(&entry), now);
+                    self.admit_mem(key, std::sync::Arc::clone(&entry), encoded_len, now);
                     return Some(entry);
                 }
                 Err(_) => self.discard(key),
@@ -452,10 +493,13 @@ impl TensorCache {
         None
     }
 
-    fn load_disk(&self, key: u64) -> Result<CacheEntry, CacheError> {
+    /// Reads and decodes a disk entry, returning the decoded entry and
+    /// the encoded byte length actually read (the size the memory tier
+    /// must account the promotion at).
+    fn load_disk(&self, key: u64) -> Result<(CacheEntry, usize), CacheError> {
         let dir = self.dir.as_deref().ok_or(CacheError::Truncated)?;
         let bytes = std::fs::read(entry_path(dir, key))?;
-        decode_entry(&bytes)
+        Ok((decode_entry(&bytes)?, bytes.len()))
     }
 
     /// Inserts a freshly computed entry into both tiers.
@@ -498,8 +542,10 @@ impl TensorCache {
         self.evict_mem(key);
     }
 
-    fn admit_mem(&mut self, key: u64, entry: std::sync::Arc<CacheEntry>, now: u64) {
-        let bytes = self.disk.get(&key).map_or(0, |d| d.bytes);
+    /// Admits a disk-promoted entry to the memory tier, accounted at the
+    /// encoded byte length it was actually read at (never the disk
+    /// index's recorded size, which can be stale or zero).
+    fn admit_mem(&mut self, key: u64, entry: std::sync::Arc<CacheEntry>, bytes: usize, now: u64) {
         if let Some(old) = self.mem.insert(
             key,
             MemEntry {
@@ -605,6 +651,7 @@ mod tests {
         g.seal();
         c.seal();
         CacheEntry {
+            fingerprint: format!("deck-{seed}\u{1f}tran\u{1f}masc"),
             meta: RunMeta {
                 times: vec![0.0, 1.0, 2.0, 3.0],
                 hs: vec![1.0; 4],
@@ -620,6 +667,7 @@ mod tests {
         let entry = sample_entry(0.5);
         let bytes = encode_entry(&entry);
         let back = decode_entry(&bytes).unwrap();
+        assert_eq!(back.fingerprint, entry.fingerprint);
         assert_eq!(back.meta.times, entry.meta.times);
         assert_eq!(back.meta.hs, entry.meta.hs);
         assert_eq!(back.meta.states, entry.meta.states);
@@ -718,6 +766,35 @@ mod tests {
         assert_eq!(m.corrupt_entries, 1);
         assert_eq!(m.misses, 1);
         assert!(!path.exists(), "corrupt entry file should be removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promoted_entry_is_accounted_at_read_size_not_indexed_size() {
+        let dir = std::env::temp_dir().join(format!("masc-serve-promote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let encoded_len = {
+            let mut cache = TensorCache::open(Some(dir.clone()), usize::MAX, usize::MAX).unwrap();
+            let entry = sample_entry(5.0);
+            let len = encode_entry(&entry).len();
+            cache.put(11, Arc::new(entry));
+            len
+        };
+        let mut cache = TensorCache::open(Some(dir.clone()), usize::MAX, usize::MAX).unwrap();
+        // Simulate the open scan's metadata call failing: the disk index
+        // then records a 0-byte entry.
+        cache.disk.get_mut(&11).unwrap().bytes = 0;
+        cache.metrics.disk_bytes = 0;
+        assert!(cache.get(11).is_some());
+        let m = cache.metrics();
+        assert_eq!(
+            m.mem_bytes, encoded_len,
+            "promotion must charge the memory tier the bytes actually read"
+        );
+        assert_eq!(
+            m.disk_bytes, encoded_len,
+            "a stale disk index size is repaired on load"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

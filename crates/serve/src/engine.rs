@@ -17,7 +17,7 @@
 //! matrices), which is what makes hit results bit-identical to the cold
 //! run that populated the entry.
 
-use crate::cache::{entry_key, CacheEntry};
+use crate::cache::{entry_key, job_fingerprint, CacheEntry};
 use crate::protocol::{JobRequest, ObjectiveSpec, ParamSelector};
 use crate::ServeError;
 use masc_adjoint::store::{
@@ -39,8 +39,12 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// A job after deck canonicalization and name resolution.
 #[derive(Debug, Clone)]
 pub struct ResolvedJob {
-    /// Content-addressed cache key.
+    /// Content-addressed cache key (FNV-1a of `fingerprint`).
     pub key: u64,
+    /// The full identity string the key hashes
+    /// ([`job_fingerprint`]) — compared against a cached entry's
+    /// embedded fingerprint on every hit to rule out key collisions.
+    pub fingerprint: String,
     /// The canonical (re-serialized) deck text.
     pub canonical_deck: String,
     /// Transient options from the deck's `.tran` card.
@@ -111,9 +115,11 @@ pub fn resolve(req: &JobRequest, masc: &MascConfig) -> Result<ResolvedJob, Serve
         }
     };
 
+    let fingerprint = job_fingerprint(&canonical_deck, &tran, masc);
     let key = entry_key(&canonical_deck, &tran, masc);
     Ok(ResolvedJob {
         key,
+        fingerprint,
         canonical_deck,
         tran,
         objectives,
@@ -412,7 +418,13 @@ pub fn run_cold(
         tran_stats: tran_result.stats,
         store_metrics,
     };
-    Ok((outcome, CacheEntry { meta, g, c }))
+    let entry = CacheEntry {
+        fingerprint: job.fingerprint.clone(),
+        meta,
+        g,
+        c,
+    };
+    Ok((outcome, entry))
 }
 
 fn same_pattern(a: &Pattern, b: &Pattern) -> bool {
@@ -434,10 +446,16 @@ fn same_pattern(a: &Pattern, b: &Pattern) -> bool {
 /// (the caller discards the entry and re-runs cold), or an ordinary error
 /// if the reverse arithmetic itself fails.
 pub fn run_hit(job: &ResolvedJob, entry: &CacheEntry) -> Result<JobOutcome, ServeError> {
+    // Hash-collision defense: the entry must carry this exact job's
+    // identity, element values included — the structural checks below
+    // cannot distinguish same-topology decks with different values.
+    if entry.fingerprint != job.fingerprint {
+        return Err(ServeError::CacheMismatch);
+    }
     let (circuit, mut system) = elaborate_canonical(job)?;
     let layout = TensorLayout::of(&system);
-    // Hash-collision / stale-entry defense: the cached tensors must match
-    // the job's exact sparsity structure and trajectory shape.
+    // Stale-entry defense: the cached tensors must also match the job's
+    // exact sparsity structure and trajectory shape.
     if !same_pattern(entry.g.pattern(), &layout.g_pattern)
         || !same_pattern(entry.c.pattern(), &layout.c_pattern)
     {

@@ -60,11 +60,28 @@ fn serve_socket(server: &Server, path: &PathBuf) -> Result<(), masc_serve::Serve
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
     eprintln!("masc-serve: listening on {}", path.display());
+    // One faulting connection (ECONNRESET mid-read, accept hiccup) must
+    // not take down the listener: log it and keep serving. Only an
+    // explicit SHUTDOWN stops the loop.
     for conn in listener.incoming() {
-        let stream = conn?;
-        let reader = BufReader::new(stream.try_clone()?);
-        if run_lines(server, reader, stream)? {
-            break; // explicit SHUTDOWN stops the listener
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("masc-serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let reader = match stream.try_clone() {
+            Ok(clone) => BufReader::new(clone),
+            Err(e) => {
+                eprintln!("masc-serve: connection setup failed: {e}");
+                continue;
+            }
+        };
+        match run_lines(server, reader, stream) {
+            Ok(true) => break, // explicit SHUTDOWN stops the listener
+            Ok(false) => {}
+            Err(e) => eprintln!("masc-serve: connection error: {e}"),
         }
     }
     let _ = std::fs::remove_file(path);

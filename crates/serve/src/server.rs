@@ -15,14 +15,14 @@
 
 use crate::cache::{CacheMetrics, TensorCache};
 use crate::engine::{resolve, run_cold, run_hit, JobOutcome, WorkspacePool};
-use crate::protocol::{self, JobRequest, Request};
+use crate::protocol::{self, JobRequest, Request, MAX_LINE_BYTES};
 use crate::ServeError;
 use masc_compress::MascConfig;
 use std::collections::{HashSet, VecDeque};
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -264,6 +264,81 @@ fn answer_solve<W: Write>(server: &Server, req: &JobRequest, out: &Mutex<W>) {
     respond(out, &line);
 }
 
+/// The worker queue. `closed` lives *inside* the mutex-guarded state:
+/// a worker that observed `closed == false` under the lock is either
+/// still holding it or already parked in `Condvar::wait` (which releases
+/// the lock atomically) when the reader sets the flag under the same
+/// lock — so the close can never interleave between a worker's check and
+/// its wait, and the wake-up is never lost.
+struct JobQueue {
+    items: VecDeque<Request>,
+    closed: bool,
+}
+
+/// The outcome of reading one length-capped request line.
+enum LineRead {
+    /// End of input.
+    Eof,
+    /// A complete line, within the cap.
+    Line,
+    /// The line exceeded [`MAX_LINE_BYTES`]; its bytes were discarded
+    /// without buffering and the reader is positioned after it.
+    TooLong {
+        /// Total line length consumed (saturating).
+        len: usize,
+    },
+}
+
+/// Reads one `\n`-terminated line into `line`, buffering at most
+/// [`MAX_LINE_BYTES`] + 1 bytes. An over-long line is consumed chunk by
+/// chunk and discarded, so a client streaming gigabytes without a
+/// newline costs bounded memory, not an OOM.
+fn read_capped_line<R: BufRead>(input: &mut R, line: &mut String) -> std::io::Result<LineRead> {
+    line.clear();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut total = 0usize;
+    let mut saw_any = false;
+    let mut done = false;
+    while !done {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(LineRead::Eof);
+            }
+            break;
+        }
+        saw_any = true;
+        let take = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                done = true;
+                pos + 1
+            }
+            None => chunk.len(),
+        };
+        total = total.saturating_add(take);
+        if total <= MAX_LINE_BYTES + 1 {
+            buf.extend_from_slice(&chunk[..take]);
+        } else {
+            // Over the cap: stop buffering and just drain to the newline.
+            buf.clear();
+        }
+        input.consume(take);
+    }
+    if total > MAX_LINE_BYTES + 1 {
+        return Ok(LineRead::TooLong { len: total });
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => {
+            *line = s;
+            Ok(LineRead::Line)
+        }
+        Err(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request line is not valid UTF-8",
+        )),
+    }
+}
+
 /// Serves the line protocol from `input` to `output` until `SHUTDOWN` or
 /// end of input, sharding jobs across [`ServeConfig::workers`] scoped
 /// threads. Returns `true` if an explicit `SHUTDOWN` was received.
@@ -277,9 +352,11 @@ pub fn run_lines<R: BufRead, W: Write + Send>(
     output: W,
 ) -> Result<bool, ServeError> {
     let out = Mutex::new(output);
-    let queue: Mutex<VecDeque<Request>> = Mutex::new(VecDeque::new());
+    let queue = Mutex::new(JobQueue {
+        items: VecDeque::new(),
+        closed: false,
+    });
     let queue_ready = Condvar::new();
-    let closed = AtomicBool::new(false);
     let mut got_shutdown = false;
     let mut read_error: Option<std::io::Error> = None;
 
@@ -290,10 +367,10 @@ pub fn run_lines<R: BufRead, W: Write + Send>(
                 let item = {
                     let mut q = lock(&queue);
                     loop {
-                        if let Some(item) = q.pop_front() {
+                        if let Some(item) = q.items.pop_front() {
                             break Some(item);
                         }
-                        if closed.load(Ordering::Acquire) {
+                        if q.closed {
                             break None;
                         }
                         q = queue_ready.wait(q).unwrap_or_else(PoisonError::into_inner);
@@ -309,10 +386,14 @@ pub fn run_lines<R: BufRead, W: Write + Send>(
 
         let mut line = String::new();
         loop {
-            line.clear();
-            match input.read_line(&mut line) {
-                Ok(0) => break,
-                Ok(_) => {}
+            match read_capped_line(&mut input, &mut line) {
+                Ok(LineRead::Eof) => break,
+                Ok(LineRead::Line) => {}
+                Ok(LineRead::TooLong { len }) => {
+                    let e = protocol::ProtocolError::LineTooLong { len };
+                    respond(&out, &protocol::render_err("-", "protocol", &e.to_string()));
+                    continue;
+                }
                 Err(e) => {
                     read_error = Some(e);
                     break;
@@ -327,14 +408,15 @@ pub fn run_lines<R: BufRead, W: Write + Send>(
                     break;
                 }
                 Ok(req) => {
-                    lock(&queue).push_back(req);
+                    lock(&queue).items.push_back(req);
                     queue_ready.notify_one();
                 }
                 Err(e) => respond(&out, &protocol::render_err("-", "protocol", &e.to_string())),
             }
         }
         // Drain: workers finish everything already queued, then exit.
-        closed.store(true, Ordering::Release);
+        // The flag flips under the queue lock (see [`JobQueue`]).
+        lock(&queue).closed = true;
         queue_ready.notify_all();
     });
 

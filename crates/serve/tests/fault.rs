@@ -3,9 +3,11 @@
 
 #![allow(clippy::disallowed_methods)] // tests may unwrap/expect
 
+use masc_serve::engine::{resolve, run_cold, run_hit, WorkspacePool};
 use masc_serve::server::run_lines;
-use masc_serve::{JobRequest, ObjectiveSpec, ParamSelector, ServeConfig, Server};
+use masc_serve::{JobRequest, ObjectiveSpec, ParamSelector, ServeConfig, ServeError, Server};
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 fn scratch_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("masc-serve-fault-{}-{name}", std::process::id()));
@@ -125,6 +127,36 @@ fn corrupt_disk_entry_degrades_to_cold_rerun() {
     assert!(hit.hit);
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An entry whose embedded fingerprint belongs to a *different* job —
+/// what a constructed 64-bit key collision between same-topology,
+/// different-value decks would look like — is rejected as a cache
+/// mismatch, never replayed as the wrong answer.
+#[test]
+fn colliding_entry_with_foreign_fingerprint_is_rejected() {
+    let masc = ServeConfig::default().masc;
+    let mut other = ladder_request("other", 2);
+    // Same topology and sparsity pattern, different element value: the
+    // structural (pattern/shape) checks alone cannot tell these apart.
+    other.deck = other.deck.replace("R0 n0 0 2000", "R0 n0 0 2001");
+
+    let job = resolve(&ladder_request("j", 2), &masc).expect("resolve job");
+    let other_job = resolve(&other, &masc).expect("resolve other");
+    assert_ne!(job.fingerprint, other_job.fingerprint);
+
+    let pool = Mutex::new(WorkspacePool::default());
+    let (_, foreign_entry) = run_cold(&other_job, &pool).expect("cold run");
+    assert!(
+        matches!(
+            run_hit(&job, &foreign_entry),
+            Err(ServeError::CacheMismatch)
+        ),
+        "an entry carrying another job's fingerprint must be a mismatch"
+    );
+    // The entry still replays fine for the job that owns it.
+    let replay = run_hit(&other_job, &foreign_entry).expect("owner replay");
+    assert!(replay.hit);
 }
 
 /// Two identical jobs submitted concurrently run the pipeline once; the

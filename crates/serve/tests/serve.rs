@@ -160,6 +160,53 @@ fn resolution_errors_are_structured() {
     assert_eq!(server.cache_metrics().inserts, 0);
 }
 
+/// A line past the protocol cap answers `ERR … line-too-long` without
+/// buffering the oversized payload, and the connection keeps serving.
+#[test]
+fn oversized_line_is_rejected_and_connection_survives() {
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server");
+    let huge = "x".repeat(2 * masc_serve::protocol::MAX_LINE_BYTES);
+    let input = format!("{huge}\nSTATS\nSHUTDOWN\n");
+    let mut output = Vec::new();
+    let got_shutdown =
+        run_lines(&server, input.as_bytes(), &mut output).expect("loop survives the long line");
+    assert!(got_shutdown);
+
+    let text = String::from_utf8(output).expect("utf8 output");
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("ERR - protocol ") && l.contains("exceeds")),
+        "over-long line answers with a structured error: {text}"
+    );
+    assert!(
+        text.lines().any(|l| l.starts_with("STATS jobs=0 ")),
+        "commands after the long line still answer: {text}"
+    );
+    assert!(text.lines().any(|l| l == "BYE"), "{text}");
+}
+
+/// End-of-input with idle workers always drains and says `BYE` — a
+/// stress for the close/wait handshake (a lost wake-up here hangs the
+/// scoped worker join forever).
+#[test]
+fn eof_with_idle_workers_never_hangs() {
+    for _ in 0..200 {
+        let server = Server::new(ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        })
+        .expect("server");
+        let mut output = Vec::new();
+        let got_shutdown = run_lines(&server, &b""[..], &mut output).expect("empty input drains");
+        assert!(!got_shutdown);
+        assert_eq!(String::from_utf8(output).expect("utf8 output"), "BYE\n");
+    }
+}
+
 #[test]
 fn line_protocol_round_trip() {
     let server = Server::new(ServeConfig {
