@@ -94,6 +94,26 @@ pub struct SensitivityResult {
     pub stats: AdjointStats,
 }
 
+/// The adjoint state flowing across a time-window boundary.
+///
+/// After a cursor has processed steps `hi .. lo` of a windowed reverse
+/// pass, its deferred update — the solution vectors `w_lo` (one per
+/// objective) and the step size `h_lo` they are scaled by — is exactly
+/// what the *preceding* window needs as its terminal condition: injecting
+/// `(ws, h)` into a fresh cursor via
+/// [`AdjointCursor::inject_terminal`] makes that cursor's first offered
+/// step compute `v = g + Cᵀ·w_lo/h_lo`, bit-identical to a monolithic
+/// pass arriving at the same step. `masc-window` ships these across
+/// window boundaries during its parallel-in-time reverse stitch.
+#[derive(Debug, Clone)]
+pub struct WindowTerminal {
+    /// One transpose-solve solution per objective, at the lowest step the
+    /// exporting cursor processed.
+    pub ws: Vec<Vec<f64>>,
+    /// The step size `h` of that lowest step (divides the `Cᵀw` term).
+    pub h: f64,
+}
+
 /// Runs the adjoint reverse pass.
 ///
 /// `meta`/`reader` come from [`crate::store::ForwardRecord::into_parts`];
@@ -373,13 +393,48 @@ impl<'a> AdjointCursor<'a> {
         Ok(())
     }
 
+    /// Seeds the cursor with a terminal condition from a *newer* time
+    /// window before its first [`offer`](AdjointCursor::offer).
+    ///
+    /// A monolithic pass starts from `v_N = g_N` (no pending update); a
+    /// window-scoped pass over steps `hi .. lo` with `hi < N` must instead
+    /// start from the deferred `Cᵀ·w/h` update the window to its right
+    /// exported via [`finish_window`](AdjointCursor::finish_window). Call
+    /// before the first offer; `ws` must hold one vector per objective.
+    pub fn inject_terminal(&mut self, ws: Vec<Vec<f64>>, h: f64) {
+        debug_assert_eq!(
+            ws.len(),
+            self.objectives.len(),
+            "one terminal vector per objective"
+        );
+        debug_assert!(self.stats.steps == 0, "inject before the first offer");
+        self.pending_w = Some(ws);
+        self.pending_h = h;
+    }
+
     /// Completes the pass, yielding the sensitivity matrix and statistics.
-    pub fn finish(mut self) -> SensitivityResult {
+    pub fn finish(self) -> SensitivityResult {
+        self.finish_window().0
+    }
+
+    /// Completes a window-scoped pass, yielding the sensitivities of the
+    /// steps this cursor processed plus the outgoing terminal condition —
+    /// the pending `(w, h)` pair at the lowest offered step, ready to be
+    /// [injected](AdjointCursor::inject_terminal) into the cursor of the
+    /// next-older window. `None` if no step was ever offered.
+    pub fn finish_window(mut self) -> (SensitivityResult, Option<WindowTerminal>) {
         self.stats.total_time = self.start.elapsed();
-        SensitivityResult {
-            values: self.dodp,
-            stats: self.stats,
-        }
+        let terminal = self.pending_w.take().map(|ws| WindowTerminal {
+            ws,
+            h: self.pending_h,
+        });
+        (
+            SensitivityResult {
+                values: self.dodp,
+                stats: self.stats,
+            },
+            terminal,
+        )
     }
 }
 

@@ -60,16 +60,16 @@ pub mod mutation;
 
 pub use adjoint::{
     adjoint_sensitivities, adjoint_sensitivities_per_objective, AdjointCursor, AdjointError,
-    AdjointStats, SensitivityResult,
+    AdjointStats, SensitivityResult, WindowTerminal,
 };
 pub use direct::{direct_sensitivities, DirectError};
 pub use fd::{finite_difference, objective_value, FdError};
 pub use objective::Objective;
 pub use store::{
-    BackwardJacobians, BackwardReader, CompressedStore, DiskStore, DurationHistogram,
+    BackwardJacobians, BackwardReader, CaptureStore, CompressedStore, DiskStore, DurationHistogram,
     FailingWriter, ForwardRecord, HybridStore, JacobianStore, PipelinedStore, PrefetchReader,
     RawStore, RecomputeStore, RunMeta, StepMatrices, StoreConfig, StoreError, StoreMetrics,
-    TensorLayout,
+    TensorLayout, TensorSlot,
 };
 
 use masc_circuit::transient::{transient, TranError, TranOptions, TranStats};

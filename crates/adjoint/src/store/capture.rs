@@ -1,0 +1,178 @@
+//! A compressing store that hands its sealed tensors back to the caller.
+//!
+//! [`CaptureStore`] mirrors [`CompressedStore`](super::CompressedStore) —
+//! same two temporal-chain compressors, same encode plan for out-of-band
+//! pipelined compression — but on `finish` it clones the two sealed
+//! [`CompressedTensor`]s into a shared [`TensorSlot`] before handing the
+//! reverse pass its decoder. That turns the compressed tensor from a
+//! transient byproduct into a first-class artifact: `masc-serve` caches
+//! the pair under a content-addressed key and replays hits reverse-only;
+//! `masc-window` seals one pair per time window and replays them across
+//! Parareal adjoint iterations.
+
+use super::{
+    BackwardReader, EncodePlan, EncodedBlock, JacobianStore, StepMatrices, StoreError,
+    StoreMetrics, TensorEncodePlan, TensorLayout,
+};
+use masc_compress::{BackwardDecompressor, CompressedTensor, MascConfig, TensorCompressor};
+use std::sync::{Arc, Mutex, PoisonError};
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The sealed-tensor hand-off slot a [`CaptureStore`] fills at `finish`.
+pub type TensorSlot = Arc<Mutex<Option<(CompressedTensor, CompressedTensor)>>>;
+
+/// A compressing Jacobian store that, on `finish`, clones its two sealed
+/// [`CompressedTensor`]s into a shared slot before handing the reverse
+/// pass its decoder — the bridge between "run this forward pass" and
+/// "keep this run's tensors". Mirrors
+/// [`CompressedStore`](super::CompressedStore), including the encode plan
+/// that lets a [`PipelinedStore`](super::PipelinedStore) pool compress
+/// blocks out of band.
+#[derive(Debug)]
+pub struct CaptureStore {
+    g: TensorCompressor,
+    c: TensorCompressor,
+    g_accounted: usize,
+    c_accounted: usize,
+    metrics: StoreMetrics,
+    slot: TensorSlot,
+}
+
+impl CaptureStore {
+    /// Creates a capture store over the layout's two sub-patterns.
+    pub fn new(layout: &TensorLayout, config: MascConfig) -> Self {
+        Self {
+            g: TensorCompressor::new(layout.g_pattern.clone(), config.clone()),
+            c: TensorCompressor::new(layout.c_pattern.clone(), config),
+            g_accounted: 0,
+            c_accounted: 0,
+            metrics: StoreMetrics::default(),
+            slot: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The slot `finish` will deposit the sealed tensors into.
+    pub fn slot(&self) -> TensorSlot {
+        Arc::clone(&self.slot)
+    }
+
+    fn account_sealed(&mut self) {
+        while self.g_accounted < self.g.sealed_len() {
+            let len = self
+                .g
+                .compressed_block(self.g_accounted)
+                .map_or(0, <[u8]>::len);
+            self.metrics.bytes_written += len as u64;
+            self.g_accounted += 1;
+        }
+        while self.c_accounted < self.c.sealed_len() {
+            let len = self
+                .c
+                .compressed_block(self.c_accounted)
+                .map_or(0, <[u8]>::len);
+            self.metrics.bytes_written += len as u64;
+            self.c_accounted += 1;
+        }
+        self.metrics.compress_time = self.g.compress_time() + self.c.compress_time();
+    }
+}
+
+impl JacobianStore for CaptureStore {
+    fn put(&mut self, _step: usize, g: &[f64], c: &[f64]) -> Result<(), StoreError> {
+        self.g.push(g);
+        self.c.push(c);
+        self.account_sealed();
+        Ok(())
+    }
+
+    fn encode_plan(&self) -> Option<EncodePlan> {
+        Some(EncodePlan {
+            g: TensorEncodePlan {
+                maps: self.g.maps().clone(),
+                config: self.g.config(),
+            },
+            c: TensorEncodePlan {
+                maps: self.c.maps().clone(),
+                config: self.c.config(),
+            },
+        })
+    }
+
+    fn put_encoded(
+        &mut self,
+        _step: usize,
+        g: EncodedBlock,
+        c: EncodedBlock,
+    ) -> Result<(), StoreError> {
+        self.g.push_encoded(g.bytes, &g.stats);
+        self.c.push_encoded(c.bytes, &c.stats);
+        self.account_sealed();
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.g.memory_bytes() + self.c.memory_bytes()
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut StoreMetrics {
+        &mut self.metrics
+    }
+
+    fn finish(mut self: Box<Self>) -> Result<Box<dyn BackwardReader>, StoreError> {
+        self.g.seal();
+        self.c.seal();
+        self.account_sealed();
+        let this = *self;
+        let g = this.g.finish();
+        let c = this.c.finish();
+        *lock_ignoring_poison(&this.slot) = Some((g.clone(), c.clone()));
+        Ok(Box::new(CaptureReader {
+            g: g.into_backward(),
+            c: c.into_backward(),
+            metrics: this.metrics,
+        }))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[derive(Debug)]
+struct CaptureReader {
+    g: BackwardDecompressor,
+    c: BackwardDecompressor,
+    metrics: StoreMetrics,
+}
+
+impl BackwardReader for CaptureReader {
+    fn fetch(&mut self, step: usize) -> Result<StepMatrices, StoreError> {
+        let (gs, g) = self
+            .g
+            .next_matrix()?
+            .ok_or(StoreError::TensorTruncated { step })?;
+        let (cs, c) = self
+            .c
+            .next_matrix()?
+            .ok_or(StoreError::TensorTruncated { step })?;
+        if gs != step || cs != step {
+            return Err(StoreError::TensorTruncated { step });
+        }
+        Ok(StepMatrices::Stored { g, c })
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut StoreMetrics {
+        &mut self.metrics
+    }
+}

@@ -21,6 +21,10 @@
 //! - [`PipelinedStore`] — wraps any backend, moving compression + spill
 //!   I/O onto a worker thread behind a bounded queue and prefetching the
 //!   reverse pass through a [`PrefetchReader`] (DESIGN.md §3.8).
+//! - [`CaptureStore`] — compresses like [`CompressedStore`] but also
+//!   clones the sealed tensor pair into a [`TensorSlot`] at `finish`, so
+//!   callers (`masc-serve`'s cache, `masc-window`'s per-window records)
+//!   keep the compressed artifact after the reverse pass consumed it.
 //!
 //! Custom backends implement [`JacobianStore`] + [`BackwardReader`] and
 //! plug in through [`ForwardRecord::with_store`]. Every backend carries a
@@ -29,11 +33,13 @@
 //! latency histograms).
 
 mod backends;
+mod capture;
 mod hybrid;
 mod metrics;
 mod pipelined;
 
 pub use backends::{CompressedStore, DiskStore, FailingWriter, RawStore, RecomputeStore};
+pub use capture::{CaptureStore, TensorSlot};
 pub use hybrid::HybridStore;
 pub use metrics::{DurationHistogram, StoreMetrics};
 pub use pipelined::{PipelinedStore, PrefetchReader};

@@ -23,6 +23,7 @@ pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod window;
 
 /// Parses a `--scale <f64>` / `--scale=<f64>` argument (default `default`).
 pub fn parse_scale(args: &[String], default: f64) -> f64 {

@@ -57,6 +57,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(oracles::store::AdjointOracle),
         Box::new(oracles::sweep::SweepEquivalence),
         Box::new(oracles::serve::ServeCache),
+        Box::new(oracles::window::WindowEquivalence),
     ]
 }
 

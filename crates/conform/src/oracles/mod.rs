@@ -9,3 +9,4 @@ pub mod serve;
 pub mod store;
 pub mod sweep;
 pub mod tensor;
+pub mod window;

@@ -1,0 +1,218 @@
+//! Windowed-adjoint equivalence oracle.
+//!
+//! `window-equivalence` is the differential check behind `masc-window`'s
+//! headline claims: a converged parallel-in-time windowed run must produce
+//! the gradients of the monolithic `run_adjoint` pipeline (bit-exact for
+//! `W = 1`, ≤ 1e-9 relative otherwise — the cross-window fold reorders
+//! the summation), and the result must be *bit-identical* across lane
+//! counts and for every window split of the same transient.
+//!
+//! Cases are pulse-driven current-source RC ladders: no branch unknowns
+//! and a diagonally dominant `G`, so the pivot sequence is the structural
+//! diagonal and bit-comparability between the shared-symbolic window lanes
+//! and a fresh monolithic factorization is the *expected* outcome.
+
+use crate::oracle::Oracle;
+use masc_adjoint::{run_adjoint, Objective, StoreConfig};
+use masc_circuit::devices::{Capacitor, CurrentSource, Device, Resistor};
+use masc_circuit::transient::TranOptions;
+use masc_circuit::waveform::Waveform;
+use masc_circuit::{Circuit, ParamRef};
+use masc_testkit::Rng;
+use masc_window::{run_windowed, WindowOptions};
+
+/// A decoded window case: ladder size, step count, and a resistor scale.
+struct WindowCase {
+    stages: usize,
+    steps: usize,
+    r_scale: f64,
+}
+
+/// Byte layout: `[stages][steps][scale]`. Anything too short is a
+/// vacuous pass.
+fn decode_case(input: &[u8]) -> Option<WindowCase> {
+    let (&stages_b, rest) = input.split_first()?;
+    let (&steps_b, rest) = rest.split_first()?;
+    let (&scale_b, _) = rest.split_first()?;
+    Some(WindowCase {
+        stages: 2 + usize::from(stages_b) % 4,
+        steps: 8 + usize::from(steps_b) % 16,
+        r_scale: 1.0 + 0.02 * f64::from(scale_b % 32),
+    })
+}
+
+/// Builds the pulse-driven current-source RC ladder for `stages`.
+fn ladder(stages: usize, r_scale: f64) -> Result<Circuit, String> {
+    let mut ckt = Circuit::new();
+    let nodes: Vec<_> = (0..stages)
+        .map(|s| ckt.node(&format!("n{s}")).unknown())
+        .collect();
+    let mut add = |d: Device| ckt.add(d).map(|_| ()).map_err(|e| format!("{e:?}"));
+    add(Device::CurrentSource(CurrentSource::new(
+        "I1",
+        None,
+        nodes[0],
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: 1e-3,
+            td: 0.0,
+            tr: 1e-9,
+            tf: 1e-9,
+            pw: 1.0,
+            per: 2.0,
+        },
+    )))?;
+    for s in 0..stages {
+        add(Device::Resistor(Resistor::new(
+            format!("R{s}"),
+            nodes[s],
+            None,
+            1000.0 * r_scale,
+        )))?;
+        add(Device::Capacitor(Capacitor::new(
+            format!("C{s}"),
+            nodes[s],
+            None,
+            1e-6,
+        )))?;
+        if s + 1 < stages {
+            add(Device::Resistor(Resistor::new(
+                format!("RS{s}"),
+                nodes[s],
+                nodes[s + 1],
+                500.0,
+            )))?;
+        }
+    }
+    Ok(ckt)
+}
+
+fn setup(
+    base: &Circuit,
+    steps: usize,
+) -> Result<(TranOptions, Vec<Objective>, Vec<ParamRef>), String> {
+    let dt = 5e-5;
+    let tran = TranOptions::new(dt * steps as f64, dt);
+    let probe = base
+        .find_node("n0")
+        .and_then(|n| n.unknown())
+        .ok_or("ladder has no n0 unknown")?;
+    let objectives = vec![
+        Objective::FinalValue { unknown: probe },
+        Objective::Integral { unknown: probe },
+    ];
+    let params = vec![
+        base.find_param("R0.r").ok_or("R0.r missing")?,
+        base.find_param("C0.c").ok_or("C0.c missing")?,
+    ];
+    Ok((tran, objectives, params))
+}
+
+/// Converged windowed sensitivities equal the monolithic pipeline's, and
+/// the windowed result is bit-invariant to the lane count.
+pub struct WindowEquivalence;
+
+impl Oracle for WindowEquivalence {
+    fn name(&self) -> &'static str {
+        "window-equivalence"
+    }
+
+    fn describe(&self) -> &'static str {
+        "windowed adjoint matches monolithic (W=1 bit-exact, else 1e-9); lane-invariant"
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Vec<u8> {
+        vec![
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+            rng.below(256) as u8,
+        ]
+    }
+
+    fn check(&self, input: &[u8]) -> Result<(), String> {
+        let Some(case) = decode_case(input) else {
+            return Ok(());
+        };
+        let base = ladder(case.stages, case.r_scale)?;
+        let (tran, objectives, params) = setup(&base, case.steps)?;
+
+        let mut mono_ckt = base.clone();
+        let mono = run_adjoint(
+            &mut mono_ckt,
+            &tran,
+            &StoreConfig::RawMemory,
+            &objectives,
+            &params,
+        )
+        .map_err(|e| format!("monolithic run failed: {e:?}"))?;
+
+        for w in [1usize, 2, 4] {
+            // Reference at serial lanes, then every lane count against it.
+            let mut ckt = base.clone();
+            let reference = run_windowed(
+                &mut ckt,
+                &tran,
+                &WindowOptions::new(w).with_lanes(1),
+                &objectives,
+                &params,
+            )
+            .map_err(|e| format!("W={w} lanes=1 failed: {e}"))?;
+
+            for lanes in [2usize, 4] {
+                let mut ckt = base.clone();
+                let run = run_windowed(
+                    &mut ckt,
+                    &tran,
+                    &WindowOptions::new(w).with_lanes(lanes),
+                    &objectives,
+                    &params,
+                )
+                .map_err(|e| format!("W={w} lanes={lanes} failed: {e}"))?;
+                for (i, row) in reference.sensitivities.iter().enumerate() {
+                    for (j, (&a, &b)) in row.iter().zip(&run.sensitivities[i]).enumerate() {
+                        if a.to_bits() != b.to_bits() {
+                            return Err(format!(
+                                "W={w}: lanes=1 vs lanes={lanes} differ at obj {i} param {j}: {a:?} vs {b:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+
+            // Against the monolithic pipeline: W=1 must be bit-exact (it
+            // is the same schedule end to end); multi-window folds reorder
+            // the dO/dp summation, so compare to 1e-9 relative.
+            for (i, mono_row) in mono.sensitivities.values.iter().enumerate() {
+                for (j, (&m, &a)) in mono_row.iter().zip(&reference.sensitivities[i]).enumerate() {
+                    if w == 1 {
+                        if m.to_bits() != a.to_bits() {
+                            return Err(format!(
+                                "W=1 not bit-identical to monolithic at obj {i} param {j}: {a:?} vs {m:?}"
+                            ));
+                        }
+                    } else {
+                        let scale = m.abs().max(a.abs()).max(1e-30);
+                        if (m - a).abs() / scale > 1e-9 {
+                            return Err(format!(
+                                "W={w} obj {i} param {j}: windowed {a:e} vs monolithic {m:e}"
+                            ));
+                        }
+                    }
+                }
+            }
+            for (i, (&m, &a)) in mono
+                .objective_values
+                .iter()
+                .zip(&reference.objective_values)
+                .enumerate()
+            {
+                if m.to_bits() != a.to_bits() {
+                    return Err(format!(
+                        "W={w} objective {i}: windowed {a:?} vs monolithic {m:?} (trajectory not stitched bitwise)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

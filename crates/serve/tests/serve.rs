@@ -256,3 +256,86 @@ fn line_protocol_round_trip() {
     );
     assert_eq!(*lines.last().expect("BYE line"), "BYE");
 }
+
+/// Two clients connecting *sequentially* over `--socket` share one
+/// server process and one cache: the first connection's cold run primes
+/// the cache, the second connection (after the first hangs up without
+/// `SHUTDOWN`) hits it bit-identically, and an explicit `SHUTDOWN` stops
+/// the listener and removes the socket file.
+#[test]
+fn socket_serves_sequential_connections_from_one_cache() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let sock = std::env::temp_dir().join(format!(
+        "masc-serve-multiclient-{}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&sock);
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_masc-serve"))
+        .args(["--socket"])
+        .arg(&sock)
+        .args(["--workers", "1"])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn masc-serve");
+
+    // Wait for the listener to bind.
+    let mut bound = false;
+    for _ in 0..200 {
+        if sock.exists() {
+            bound = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(bound, "server never bound {}", sock.display());
+
+    let deck = masc_serve::protocol::escape_deck(&ladder_deck(2));
+    let solve = format!("SOLVE j final:n1 * {deck}\n");
+    let ask = |input: &str| -> Vec<String> {
+        let mut stream = UnixStream::connect(&sock).expect("connect");
+        stream.write_all(input.as_bytes()).expect("send");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        BufReader::new(stream)
+            .lines()
+            .map(|l| l.expect("response line"))
+            .collect()
+    };
+
+    // Client 1: cold run, then hangs up (no SHUTDOWN).
+    let first = ask(&solve);
+    assert!(
+        first[0].starts_with("OK j miss "),
+        "first client's solve is a miss: {first:?}"
+    );
+    assert_eq!(first.last().map(String::as_str), Some("BYE"));
+
+    // Client 2: a fresh connection against the same still-running server
+    // hits the cache primed by client 1, then shuts the server down.
+    let second = ask(&format!("{solve}STATS\nSHUTDOWN\n"));
+    assert!(
+        second[0].starts_with("OK j hit steps=0 "),
+        "second client must hit the first client's cache entry: {second:?}"
+    );
+    // Identical payload after the hit/miss and steps tokens.
+    let payload = |l: &str| l.splitn(5, ' ').nth(4).map(str::to_string);
+    assert_eq!(payload(&first[0]), payload(&second[0]));
+    assert!(
+        second[1].starts_with("STATS jobs=2 cold_runs=1 "),
+        "one cold run across both connections: {second:?}"
+    );
+    assert_eq!(second.last().map(String::as_str), Some("BYE"));
+
+    // SHUTDOWN stops the process and removes the socket file.
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "clean exit after SHUTDOWN: {status:?}");
+    assert!(
+        !sock.exists(),
+        "socket file must be removed on shutdown: {}",
+        sock.display()
+    );
+}

@@ -316,3 +316,43 @@ fn plan_validation_errors() {
         Err(SweepError::InvalidParam { .. })
     ));
 }
+
+/// `SweepStats::serial_time` telemetry is coherent and monotone in N
+/// (ISSUE 9 satellite): the serial sections (super-tensor compression,
+/// framing, the decode chain) grow with the instance count, never exceed
+/// the end-to-end wall time, and are strictly positive whenever work was
+/// done. Wall-clock noise is damped by taking the minimum over repeats —
+/// the standard floor estimator for "how fast can this section go".
+#[test]
+fn serial_time_is_monotone_in_instance_count() {
+    let base = ladder(4);
+    let min_serial = |n_variants: usize| -> std::time::Duration {
+        (0..5)
+            .map(|_| {
+                let result = run_sweep(&base, &plan_for(&base, n_variants, 1)).unwrap();
+                let s = result.stats;
+                assert_eq!(s.instances, n_variants);
+                assert!(
+                    s.serial_time <= s.total_time,
+                    "N={n_variants}: serial {:?} exceeds total {:?}",
+                    s.serial_time,
+                    s.total_time
+                );
+                assert!(
+                    s.serial_time > std::time::Duration::ZERO,
+                    "N={n_variants}: compression/decode took measurably no time"
+                );
+                s.serial_time
+            })
+            .min()
+            .unwrap()
+    };
+    let small = min_serial(1);
+    let large = min_serial(8);
+    // 8× the instances means 8× the per-step compression and decode work;
+    // demand a 2× floor so the pin is insensitive to scheduling noise.
+    assert!(
+        large >= small * 2,
+        "serial_time should grow with N: N=1 min {small:?} vs N=8 min {large:?}"
+    );
+}

@@ -1,0 +1,105 @@
+//! Partitioning the transient time grid into contiguous windows.
+
+use crate::WindowError;
+
+/// One window's slice of the global step grid: transient steps
+/// `start + 1 ..= end` belong to the window, and `start` is the step whose
+/// state seeds it (step 0 = the DC point). `start == end` never occurs —
+/// every window owns at least one transient step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpan {
+    /// Global step index of the seed state (owned by the predecessor).
+    pub start: usize,
+    /// Global step index of the window's last owned step (inclusive).
+    pub end: usize,
+}
+
+impl WindowSpan {
+    /// Number of transient steps the window owns.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span owns no steps (never true for spans produced by
+    /// [`split_steps`]).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Splits `n_steps` transient steps into at most `windows` contiguous
+/// spans. Requests for more windows than steps clamp to one step per
+/// window; remainders go to the *earliest* windows so lane loads stay
+/// within one step of each other. Every transient step `1..=n_steps` is
+/// covered exactly once, and consecutive spans share their boundary step
+/// (`spans[k].end == spans[k + 1].start`).
+///
+/// # Errors
+///
+/// Returns [`WindowError::InvalidWindows`] when `windows == 0` or
+/// `n_steps == 0`.
+pub fn split_steps(n_steps: usize, windows: usize) -> Result<Vec<WindowSpan>, WindowError> {
+    if windows == 0 || n_steps == 0 {
+        return Err(WindowError::InvalidWindows { windows, n_steps });
+    }
+    let w = windows.min(n_steps);
+    let base = n_steps / w;
+    let extra = n_steps % w;
+    let mut spans = Vec::with_capacity(w);
+    let mut start = 0usize;
+    for k in 0..w {
+        let len = base + usize::from(k < extra);
+        spans.push(WindowSpan {
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    debug_assert_eq!(start, n_steps, "spans must cover every step");
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_everything() {
+        let spans = split_steps(100, 4).unwrap();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0], WindowSpan { start: 0, end: 25 });
+        assert_eq!(
+            spans[3],
+            WindowSpan {
+                start: 75,
+                end: 100
+            }
+        );
+        for pair in spans.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn remainder_goes_to_early_windows() {
+        let spans = split_steps(10, 4).unwrap();
+        let lens: Vec<usize> = spans.iter().map(WindowSpan::len).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+        assert_eq!(spans.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn zero_windows_is_an_error() {
+        assert!(matches!(
+            split_steps(10, 0),
+            Err(WindowError::InvalidWindows { .. })
+        ));
+    }
+
+    #[test]
+    fn more_windows_than_steps_clamps() {
+        let spans = split_steps(3, 8).unwrap();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.len() == 1));
+    }
+}

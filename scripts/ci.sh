@@ -32,6 +32,13 @@ run cargo run -q --offline --release -p masc-bench --bin sweep -- \
 # that re-runs the forward pass, or a slow decode path, shows up here).
 run cargo run -q --offline --release -p masc-bench --bin serve -- \
     --quick --json BENCH_serve.json --gate 5
+# Parallel-in-time regression gate: the modeled W=4 windowed-adjoint
+# critical path must beat the monolithic pipeline by 2x with gradients
+# within 1e-6 (a broken coarse propagator, a stuck Parareal iteration,
+# or a serialized reverse pass shows up here; the model is built from
+# the engine's own lane-time tables, so it is core-count independent).
+run cargo run -q --offline --release -p masc-bench --bin window -- \
+    --quick --json BENCH_window.json --gate 2
 # Serve protocol smoke: pipe a miss, a hit, and a shutdown through the
 # real binary and check the wire answers.
 run scripts/serve_smoke.sh

@@ -22,5 +22,6 @@ run fig5 --scale 1.0
 run fig6 --scale 1.0
 run fig7
 run scaling
+run window
 run ablation --scale 1.0
 echo "all experiment outputs written to results/"
