@@ -95,6 +95,7 @@ fn encode_chunks(
     buckets.resize_with(threads, Vec::new);
     std::thread::scope(|scope| {
         for (tid, bucket) in buckets.iter_mut().enumerate() {
+            // masc-lint: allow(spawn-discard, reason = "encode lanes return no value and write straight into their bucket; scope exit joins them and re-raises any panic, which is the intended propagation here")
             scope.spawn(move || {
                 for i in (tid..ranges.len()).step_by(threads) {
                     bucket.push(encode_chunk(

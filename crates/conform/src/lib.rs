@@ -24,8 +24,14 @@
 //!
 //! The harness itself is validated by mutation checks (see
 //! `tests/mutation.rs`): deliberately injected defects behind the
-//! `mutation-hooks` feature of `masc-compress`/`masc-adjoint` must be
-//! caught by these oracles within a bounded budget.
+//! `mutation-hooks` feature of `masc-compress`/`masc-adjoint`/`masc-serve`
+//! must be caught by these oracles within a bounded budget.
+//!
+//! Scheduling bugs are out of reach of value fuzzing, so the worker-pool
+//! coordination cores are additionally model-checked ([`model`]) with
+//! the deterministic interleaving explorer (`masc-conform --model-check`);
+//! the serve `lost-wakeup-close` defect validates that harness the same
+//! way the fuzz defects validate the oracles.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +39,7 @@
 pub mod corpus;
 pub mod geninput;
 pub mod minimize;
+pub mod model;
 pub mod oracle;
 pub mod oracles;
 pub mod runner;

@@ -139,6 +139,21 @@ fn lint_verdict_is_independent_of_armed_defects() {
     assert_eq!(disarmed.findings, armed.findings);
     assert_eq!(disarmed.pragmas, armed.pragmas);
     masc_adjoint::mutation::set_defect(masc_adjoint::mutation::Defect::None);
+
+    // The serve scheduling defect switches *concurrency-classed* code, so
+    // it additionally pins the new R6–R8 rules: arming it must not change
+    // a single concurrency finding or pragma.
+    masc_serve::mutation::set_defect(masc_serve::mutation::Defect::LostWakeupClose);
+    let armed = lint_workspace(&root);
+    assert_eq!(
+        disarmed.findings, armed.findings,
+        "findings changed with LostWakeupClose armed"
+    );
+    assert_eq!(
+        disarmed.pragmas, armed.pragmas,
+        "pragma inventory changed with LostWakeupClose armed"
+    );
+    masc_serve::mutation::set_defect(masc_serve::mutation::Defect::None);
 }
 
 #[test]
@@ -148,6 +163,13 @@ fn no_suppression_hides_inside_mutation_hook_regions() {
     assert!(
         !regions.is_empty(),
         "expected mutation-hooks regions; did the feature move?"
+    );
+    // The serve lost-wakeup defect lives inside concurrency-classed code
+    // (crates/serve/src/server.rs), where a stray pragma could launder a
+    // real R6–R8 violation — make sure those regions are actually seen.
+    assert!(
+        regions.iter().any(|r| r.file.starts_with("crates/serve/")),
+        "expected mutation-hooks regions in crates/serve; did the serve defect move?"
     );
 
     let report = lint_workspace(&root);

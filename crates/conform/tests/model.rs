@@ -1,0 +1,95 @@
+//! Model-check harness validation: the interleaving explorer must pass
+//! every schedule on the unarmed coordination cores, and must find,
+//! minimize, and deterministically replay the armed `lost-wakeup-close`
+//! defect. This is the explorer testing itself, exactly as
+//! `tests/mutation.rs` is the fuzzer testing itself.
+
+use masc_conform::model;
+use masc_testkit::sched::FailureKind;
+use std::sync::Mutex;
+
+/// Serializes defect arming: the switch is process-global, and these
+/// tests run in the same process as any other conform integration test
+/// arming serve defects.
+static DEFECT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Disarms the serve defect on drop, so a failing assertion cannot leak
+/// an armed defect into another test.
+struct Disarm;
+
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        masc_serve::mutation::set_defect(masc_serve::mutation::Defect::None);
+    }
+}
+
+#[test]
+fn unarmed_cores_pass_every_explored_schedule() {
+    let _guard = DEFECT_LOCK.lock().expect("defect lock");
+    let _disarm = Disarm; // defensive: another test could have leaked
+    masc_serve::mutation::set_defect(masc_serve::mutation::Defect::None);
+
+    let explorer = model::model_explorer(None);
+    for outcome in model::check_all(&explorer) {
+        assert!(
+            outcome.failure.is_none(),
+            "unarmed model {} failed: {}",
+            outcome.name,
+            outcome.failure.expect("checked above")
+        );
+        assert!(outcome.schedules > 0, "{} explored nothing", outcome.name);
+    }
+}
+
+#[test]
+fn armed_lost_wakeup_is_found_minimized_and_replayed() {
+    let _guard = DEFECT_LOCK.lock().expect("defect lock");
+    let _disarm = Disarm;
+    masc_serve::mutation::set_defect(masc_serve::mutation::Defect::LostWakeupClose);
+
+    let explorer = model::model_explorer(None);
+    let report = explorer.explore(model::job_queue_model);
+    let failure = report
+        .failure
+        .expect("armed lost-wakeup-close must be exposed within the CI schedule budget");
+
+    // The lost wakeup manifests as a deadlock: parked worker lane(s)
+    // plus the reader stuck joining them.
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "expected deadlock, got {}",
+        failure.kind
+    );
+
+    // The shrinker keeps the failure while canonicalizing the decision
+    // trace toward the no-preemption schedule; the surviving schedule
+    // must stay within the explorer's preemption bound.
+    assert!(
+        failure.preemptions <= explorer.max_preemptions,
+        "minimized schedule uses {} preemptions, bound is {}",
+        failure.preemptions,
+        explorer.max_preemptions
+    );
+
+    // Seed replay (the MASC_SCHED_REPRO path) reproduces the same
+    // failure class deterministically, twice over.
+    let replay_a = explorer
+        .replay(failure.seed, model::job_queue_model)
+        .expect("seed replay must reproduce the deadlock");
+    let replay_b = explorer
+        .replay(failure.seed, model::job_queue_model)
+        .expect("seed replay must reproduce the deadlock again");
+    assert!(matches!(replay_a.kind, FailureKind::Deadlock { .. }));
+    assert_eq!(replay_a.kind, replay_b.kind);
+    assert_eq!(replay_a.trace, replay_b.trace);
+
+    // Disarmed, the very same schedule seed is clean: the failure is the
+    // defect's, not the model's.
+    masc_serve::mutation::set_defect(masc_serve::mutation::Defect::None);
+    assert!(
+        explorer
+            .replay(failure.seed, model::job_queue_model)
+            .is_none(),
+        "failing schedule must pass once the defect is disarmed"
+    );
+}

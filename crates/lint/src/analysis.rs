@@ -1,0 +1,389 @@
+//! Lightweight intra-file analysis layer for the R6–R8 concurrency rules.
+//!
+//! The R1–R5 rules get away with flat token scans plus a guard window;
+//! concurrency discipline needs a little structure: *which block* a wait
+//! sits in, *which loop* encloses it, *which binding* a guard came from,
+//! and *how long* that binding stays live. This module builds exactly
+//! that — and nothing more — on top of the significant-token stream:
+//!
+//! - a **brace-matched block tree** ([`Blocks`]): every `{ … }` region
+//!   becomes a node with its parent, plus a per-token innermost-block
+//!   map. Struct literals and match bodies become anonymous nodes, which
+//!   is harmless: they only ever *narrow* a liveness span.
+//! - **block headers** ([`Blocks::header`]): the control keyword that
+//!   introduced a block (`while`/`loop`/`for`/`if`/`else`/`match`/`fn`,
+//!   or a closure), recovered by a bounded backward scan from the `{`.
+//! - **`let`-binding def/use** (`bindings_in`, `chain_root`): the
+//!   bindings introduced directly in a block and the root identifier of
+//!   a method-call receiver chain, so rules can ask "is this call rooted
+//!   at that guard?".
+//!
+//! This is still a lexical heuristic, not a type checker: aliasing,
+//! moves into closures, and cross-function flows are invisible. The
+//! rules that consume it are tripwires — every flagged site must carry a
+//! fix or a reasoned pragma, and the deterministic interleaving explorer
+//! (`masc-testkit::sched`) covers the dynamic side.
+
+use crate::lexer::TokenKind;
+use crate::rules::Scan;
+
+/// What kind of control construct introduced a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockHeader {
+    /// `while …` or `while let … =` — a predicate re-check loop.
+    While,
+    /// `loop`.
+    Loop,
+    /// `for … in …`.
+    For,
+    /// `if …` / `else if …` / `else`.
+    If,
+    /// `match …` body (arms are anonymous blocks inside it).
+    Match,
+    /// `fn …` body — a scope boundary for the R6 loop walk.
+    Fn,
+    /// `|…| { … }` closure body — also a scope boundary.
+    Closure,
+    /// Anything else: bare block, struct literal, `unsafe`, item body.
+    Other,
+}
+
+/// One brace-delimited region, as sig-token indices into a `Scan`.
+#[derive(Debug, Clone, Copy)]
+pub struct Block {
+    /// Sig index of the opening `{`.
+    pub open: usize,
+    /// Sig index of the matching `}`.
+    pub close: usize,
+    /// Index into [`Blocks::blocks`] of the innermost enclosing block.
+    pub parent: Option<usize>,
+    /// Control construct that introduced this block.
+    pub header: BlockHeader,
+}
+
+/// Brace-matched block tree over a file's significant tokens.
+#[derive(Debug, Default)]
+pub struct Blocks {
+    /// All blocks, in opening order.
+    pub blocks: Vec<Block>,
+    /// Per-sig-index: innermost block containing the token, if any.
+    pub enclosing: Vec<Option<usize>>,
+}
+
+/// Tokens scanned backwards from a `{` when recovering its header.
+const HEADER_LOOKBACK: usize = 64;
+
+impl Blocks {
+    /// Builds the block tree for `scan`.
+    pub(crate) fn build(scan: &Scan<'_, '_>) -> Blocks {
+        let n = scan.sig.len();
+        let mut out = Blocks {
+            blocks: Vec::new(),
+            enclosing: vec![None; n],
+        };
+        let mut stack: Vec<usize> = Vec::new();
+        for si in 0..n {
+            if scan.is_punct(si, '{') {
+                let id = out.blocks.len();
+                out.blocks.push(Block {
+                    open: si,
+                    close: n.saturating_sub(1),
+                    parent: stack.last().copied(),
+                    header: header_of(scan, si),
+                });
+                stack.push(id);
+            }
+            out.enclosing[si] = stack.last().copied();
+            if scan.is_punct(si, '}') {
+                if let Some(id) = stack.pop() {
+                    out.blocks[id].close = si;
+                }
+            }
+        }
+        out
+    }
+
+    /// Innermost block containing sig index `si`.
+    pub fn enclosing(&self, si: usize) -> Option<usize> {
+        self.enclosing.get(si).copied().flatten()
+    }
+
+    /// Header of block `id`.
+    pub fn header(&self, id: usize) -> BlockHeader {
+        self.blocks
+            .get(id)
+            .map(|b| b.header)
+            .unwrap_or(BlockHeader::Other)
+    }
+
+    /// Walks `id` and its ancestors, innermost first.
+    pub fn ancestors(&self, id: usize) -> impl Iterator<Item = usize> + '_ {
+        let mut cur = Some(id);
+        std::iter::from_fn(move || {
+            let id = cur?;
+            cur = self.blocks.get(id).and_then(|b| b.parent);
+            Some(id)
+        })
+    }
+}
+
+/// Recovers the control keyword introducing the block opened at
+/// `open_si` by scanning backwards, bracket-depth aware, until a
+/// statement boundary. `while let Some(_) = rx.recv() {` walks over the
+/// scrutinee and its `=` to find the `while`; a struct literal walks
+/// back to a `;`/`=`-free boundary and stays [`BlockHeader::Other`].
+fn header_of(scan: &Scan<'_, '_>, open_si: usize) -> BlockHeader {
+    // A `{` directly preceded by `|` is a closure body.
+    if open_si > 0 && scan.is_punct(open_si - 1, '|') {
+        return BlockHeader::Closure;
+    }
+    let mut depth = 0i64;
+    let mut si = open_si;
+    let floor = open_si.saturating_sub(HEADER_LOOKBACK);
+    while si > floor {
+        si -= 1;
+        if scan.kind(si) != Some(TokenKind::Ident) {
+            if scan.kind(si) == Some(TokenKind::Punct) {
+                match scan.text(si) {
+                    ")" | "]" => depth += 1,
+                    "(" | "[" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return BlockHeader::Other;
+                        }
+                    }
+                    ";" | "{" | "}" | "," if depth == 0 => return BlockHeader::Other,
+                    ">" if depth == 0 && scan.gt_is_arrow(si) && scan.text(si - 1) == "=" => {
+                        // `=> {` — a match arm body.
+                        return BlockHeader::Other;
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        if depth != 0 {
+            continue;
+        }
+        match scan.text(si) {
+            "while" => return BlockHeader::While,
+            "loop" => return BlockHeader::Loop,
+            "for" => return BlockHeader::For,
+            "if" | "else" => return BlockHeader::If,
+            "match" => return BlockHeader::Match,
+            "fn" => return BlockHeader::Fn,
+            "move" if scan.is_punct(si.wrapping_sub(1), '|') => return BlockHeader::Closure,
+            _ => {}
+        }
+    }
+    BlockHeader::Other
+}
+
+/// One `let` binding declared directly in a block.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Bound names: one for `let g = …`, several for `let (tx, rx) = …`.
+    pub names: Vec<String>,
+    /// Sig index of the `let`.
+    pub let_si: usize,
+    /// Sig index just past the terminating `;` (liveness starts here).
+    pub stmt_end: usize,
+    /// Sig-index span of the initializer expression (after `=`).
+    pub init: (usize, usize),
+}
+
+/// Collects the `let` bindings declared *directly* in block `id`
+/// (bindings in nested blocks belong to those blocks).
+pub(crate) fn bindings_in(scan: &Scan<'_, '_>, blocks: &Blocks, id: usize) -> Vec<Binding> {
+    let Some(b) = blocks.blocks.get(id).copied() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut si = b.open + 1;
+    while si < b.close {
+        if blocks.enclosing(si) != Some(id) || !scan.is_ident(si, "let") {
+            si += 1;
+            continue;
+        }
+        // Pattern: everything up to the `=` (or `:` type ascription).
+        let mut names = Vec::new();
+        let mut j = si + 1;
+        let mut init_start = None;
+        while j < b.close {
+            let txt = scan.text(j);
+            if txt == "=" {
+                init_start = Some(j + 1);
+                break;
+            }
+            if txt == ";" {
+                break;
+            }
+            if scan.kind(j) == Some(TokenKind::Ident)
+                && !matches!(txt, "mut" | "ref" | "Some" | "Ok" | "Err" | "None")
+                && !scan.is_punct(j + 1, ':')
+            {
+                names.push(txt.to_string());
+            }
+            if txt == ":" {
+                // Type ascription: skip to `=` or `;` at depth 0.
+                let mut depth = 0i64;
+                while j < b.close {
+                    match scan.text(j) {
+                        "(" | "[" | "<" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        ">" if !scan.gt_is_arrow(j) => depth -= 1,
+                        "=" if depth <= 0 => break,
+                        ";" if depth <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            j += 1;
+        }
+        // Statement end: first `;` at this block level after the `let`.
+        let mut end = j;
+        while end < b.close && !(scan.is_punct(end, ';') && blocks.enclosing(end) == Some(id)) {
+            end += 1;
+        }
+        out.push(Binding {
+            names,
+            let_si: si,
+            stmt_end: end + 1,
+            init: (init_start.unwrap_or(end), end),
+        });
+        si = end + 1;
+    }
+    out
+}
+
+/// Root identifier of the receiver chain ending at the `.` before the
+/// call name at `call_si` — `a.b.c.send(` ⇒ `Some("a")`. Returns `None`
+/// when the receiver is not a plain identifier chain (parenthesised or
+/// indexed expressions).
+pub(crate) fn chain_root<'a>(scan: &'a Scan<'_, '_>, call_si: usize) -> Option<&'a str> {
+    if call_si < 2 || !scan.is_punct(call_si - 1, '.') {
+        return None;
+    }
+    let mut j = call_si - 2;
+    loop {
+        if scan.kind(j) != Some(TokenKind::Ident) {
+            return None;
+        }
+        if j >= 2 && scan.is_punct(j - 1, '.') && scan.kind(j - 2) == Some(TokenKind::Ident) {
+            j -= 2;
+            continue;
+        }
+        return Some(scan.text(j));
+    }
+}
+
+/// True when the parenthesised receiver ending at `close_paren_si` is a
+/// lock-acquisition call — `lock(&x).send(…)` / `m.lock().unwrap().…`
+/// style chains whose value *is* the guard.
+pub(crate) fn receiver_is_lock_call(scan: &Scan<'_, '_>, call_si: usize) -> bool {
+    // Walk the chain of `….ident(…)` segments backwards from the call,
+    // looking for a `lock`/`lock_ignoring_poison` segment.
+    let mut j = call_si;
+    let mut hops = 0usize;
+    while hops < 8 {
+        hops += 1;
+        if j < 2 || !scan.is_punct(j - 1, '.') {
+            return false;
+        }
+        let mut k = j - 2;
+        if scan.is_punct(k, ')') {
+            // Match backwards to the `(` of the previous call.
+            let mut depth = 1i64;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                match scan.text(k) {
+                    ")" => depth += 1,
+                    "(" => depth -= 1,
+                    _ => {}
+                }
+            }
+            if k == 0 {
+                return false;
+            }
+            k -= 1; // the call name before `(`.
+        }
+        if scan.kind(k) != Some(TokenKind::Ident) {
+            return false;
+        }
+        if is_lock_name(scan.text(k)) {
+            return true;
+        }
+        j = k;
+    }
+    false
+}
+
+/// Function/method names recognized as lock acquisitions. The workspace
+/// acquires mutexes through `Mutex::lock` and the crate-local
+/// `lock(…)` / `lock_ignoring_poison(…)` poison-stripping helpers.
+pub(crate) fn is_lock_name(name: &str) -> bool {
+    matches!(name, "lock" | "lock_ignoring_poison")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ClassSet;
+    use crate::rules::FileInput;
+
+    fn scan_src(src: &str) -> (Vec<crate::lexer::Token>, &str) {
+        (crate::lexer::lex(src), src)
+    }
+
+    #[test]
+    fn block_tree_shapes() {
+        let src = "fn f() { while x { if y { } } loop { } }";
+        let (tokens, src) = scan_src(src);
+        let input = FileInput {
+            path: "t.rs",
+            src,
+            classes: ClassSet::default(),
+            is_lib: false,
+        };
+        let scan = crate::rules::Scan::for_tests(input, &tokens);
+        let blocks = Blocks::build(&scan);
+        let headers: Vec<BlockHeader> = blocks.blocks.iter().map(|b| b.header).collect();
+        assert_eq!(
+            headers,
+            vec![
+                BlockHeader::Fn,
+                BlockHeader::While,
+                BlockHeader::If,
+                BlockHeader::Loop
+            ]
+        );
+        assert_eq!(blocks.blocks[1].parent, Some(0));
+        assert_eq!(blocks.blocks[2].parent, Some(1));
+        assert_eq!(blocks.blocks[3].parent, Some(0));
+    }
+
+    #[test]
+    fn bindings_and_chain_roots() {
+        let src = "fn f() { let (tx, rx) = sync_channel(4); let mut g = lock(&m); g.push(1); }";
+        let (tokens, src) = scan_src(src);
+        let input = FileInput {
+            path: "t.rs",
+            src,
+            classes: ClassSet::default(),
+            is_lib: false,
+        };
+        let scan = crate::rules::Scan::for_tests(input, &tokens);
+        let blocks = Blocks::build(&scan);
+        let binds = bindings_in(&scan, &blocks, 0);
+        assert_eq!(binds.len(), 2);
+        assert_eq!(binds[0].names, vec!["tx".to_string(), "rx".to_string()]);
+        assert_eq!(binds[1].names, vec!["g".to_string()]);
+        // `g.push(` — chain root is `g`.
+        let push_si = (0..scan.sig.len())
+            .find(|&si| scan.is_ident(si, "push"))
+            .expect("push site");
+        assert_eq!(chain_root(&scan, push_si), Some("g"));
+    }
+}

@@ -1,0 +1,539 @@
+//! R6–R8: concurrency discipline for `concurrency`-class modules.
+//!
+//! These rules encode the coordination invariants the worker-pool era
+//! (PRs 6–9) depends on, pitched at the same tripwire level as R1/R2 —
+//! every flagged site either gets fixed or carries a reasoned pragma:
+//!
+//! - **R6 condvar discipline** (`condvar-wait-loop`,
+//!   `condvar-pred-unguarded`, `condvar-notify-unguarded`): waits sit
+//!   under a `while`/`loop` predicate re-check, wait predicates read
+//!   state through the guard they pass to the wait, and every notify is
+//!   preceded by a lock acquisition in the enclosing function — the
+//!   exact shape of PR 8's lost-wakeup bug (`closed` flag written
+//!   outside the queue mutex before `notify_all`).
+//! - **R7 lock hygiene** (`guard-across-blocking`, `lock-order`): no
+//!   live mutex guard across channel/join/blocking-I/O calls unless the
+//!   call is rooted at the guard itself (locking the writer *is* the
+//!   point of `lock(out).write…`), and the per-file two-lock acquisition
+//!   order forms an acyclic graph.
+//! - **R8 worker lifecycle** (`spawn-discard`, `sender-live-join`,
+//!   `unwind-discard`): scoped-spawn handles are consumed, channel
+//!   senders are dropped before a same-block join, and `catch_unwind`
+//!   results are mapped, never discarded.
+//!
+//! Soundness limits are documented in DESIGN.md §3.15: the layer sees
+//! one file at a time, resolves bindings lexically, and cannot follow
+//! moves or aliases — the interleaving explorer in `masc-testkit::sched`
+//! covers the dynamic side of the same invariants.
+
+use crate::analysis::{
+    bindings_in, chain_root, is_lock_name, receiver_is_lock_call, BlockHeader, Blocks,
+};
+use crate::diag::{Finding, RuleId};
+use crate::lexer::TokenKind;
+use crate::rules::{Scan, GUARD_WINDOW_LINES};
+
+/// Blocking calls a live guard must not span (R7). `wait` is absent on
+/// purpose: `Condvar::wait` releases the guard it is handed.
+const BLOCKING_CALLS: [&str; 9] = [
+    "send",
+    "recv",
+    "recv_timeout",
+    "join",
+    "write_all",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "flush",
+];
+
+/// Entry point: runs every R6–R8 check over one file.
+pub(crate) fn check(scan: &Scan<'_, '_>, findings: &mut Vec<Finding>) {
+    let blocks = Blocks::build(scan);
+    rule_condvar_wait(scan, &blocks, findings);
+    rule_condvar_notify(scan, &blocks, findings);
+    rule_guards(scan, &blocks, findings);
+    rule_spawn_discard(scan, findings);
+    rule_sender_live_join(scan, &blocks, findings);
+    rule_unwind_discard(scan, findings);
+}
+
+/// R6: `wait`/`wait_timeout` must sit under a `while`/`loop`/`for`
+/// re-check before the enclosing `fn`/closure boundary, and a `while`
+/// predicate must read through the guard passed to the wait.
+fn rule_condvar_wait(scan: &Scan<'_, '_>, blocks: &Blocks, findings: &mut Vec<Finding>) {
+    for si in 0..scan.sig.len() {
+        if scan.excluded[si] || scan.kind(si) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let name = scan.text(si);
+        // `wait_while`/`wait_timeout_while` loop internally.
+        if !matches!(name, "wait" | "wait_timeout")
+            || !scan.is_punct(si + 1, '(')
+            || si == 0
+            || !scan.is_punct(si - 1, '.')
+        {
+            continue;
+        }
+        // Guard binding: first identifier of the first wait argument.
+        let close = scan.match_forward(si + 1, '(', ')');
+        let guard = (si + 2..close)
+            .find(|&j| scan.kind(j) == Some(TokenKind::Ident))
+            .map(|j| scan.text(j).to_string());
+
+        let Some(start) = blocks.enclosing(si) else {
+            scan.push(
+                findings,
+                RuleId::CondvarWaitLoop,
+                si,
+                format!("`.{name}(…)` with no enclosing predicate re-check loop"),
+            );
+            continue;
+        };
+        let mut loop_block: Option<usize> = None;
+        let mut saw_if = false;
+        for id in blocks.ancestors(start) {
+            match blocks.header(id) {
+                BlockHeader::While | BlockHeader::Loop | BlockHeader::For => {
+                    loop_block = Some(id);
+                    break;
+                }
+                BlockHeader::If => saw_if = true,
+                BlockHeader::Fn | BlockHeader::Closure => break,
+                BlockHeader::Match | BlockHeader::Other => {}
+            }
+        }
+        let Some(lb) = loop_block else {
+            let msg = if saw_if {
+                format!(
+                    "`.{name}(…)` guarded by `if` with no enclosing loop; a stolen wakeup \
+                     leaves the predicate unchecked — use `while` (or `wait_while`)"
+                )
+            } else {
+                format!("`.{name}(…)` with no enclosing predicate re-check loop")
+            };
+            scan.push(findings, RuleId::CondvarWaitLoop, si, msg);
+            continue;
+        };
+        // Predicate check, only for `while <pred>` loops: the predicate
+        // must mention the guard the wait consumes/rebinds.
+        if blocks.header(lb) != BlockHeader::While {
+            continue;
+        }
+        let Some(guard) = guard else { continue };
+        let open = blocks.blocks[lb].open;
+        let Some(kw) = find_header_keyword(scan, open, "while") else {
+            continue;
+        };
+        let mentions_guard =
+            (kw + 1..open).any(|j| scan.kind(j) == Some(TokenKind::Ident) && scan.text(j) == guard);
+        if !mentions_guard {
+            scan.push(
+                findings,
+                RuleId::CondvarPredUnguarded,
+                si,
+                format!(
+                    "wait predicate on line {} never reads through the guard `{guard}` it \
+                     passes to `.{name}(…)`; the flag it polls is not protected by this mutex",
+                    scan.line(kw)
+                ),
+            );
+        }
+    }
+}
+
+/// Backward scan from a block's `{` for its introducing keyword.
+fn find_header_keyword(scan: &Scan<'_, '_>, open_si: usize, kw: &str) -> Option<usize> {
+    let floor = open_si.saturating_sub(64);
+    let mut depth = 0i64;
+    let mut si = open_si;
+    while si > floor {
+        si -= 1;
+        match scan.text(si) {
+            ")" | "]" => depth += 1,
+            "(" | "[" => depth -= 1,
+            ";" | "{" | "}" if depth == 0 => return None,
+            t if depth == 0 && t == kw && scan.kind(si) == Some(TokenKind::Ident) => {
+                return Some(si)
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// R6: `notify_one`/`notify_all` must follow a lock acquisition in the
+/// enclosing function, within the guard window — the state change the
+/// notify advertises must have happened under the mutex.
+fn rule_condvar_notify(scan: &Scan<'_, '_>, blocks: &Blocks, findings: &mut Vec<Finding>) {
+    for si in 0..scan.sig.len() {
+        if scan.excluded[si] || scan.kind(si) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let name = scan.text(si);
+        if !matches!(name, "notify_one" | "notify_all")
+            || !scan.is_punct(si + 1, '(')
+            || si == 0
+            || !scan.is_punct(si - 1, '.')
+        {
+            continue;
+        }
+        // Floor: the opening `{` of the enclosing fn/closure body.
+        let mut floor = 0usize;
+        if let Some(start) = blocks.enclosing(si) {
+            for id in blocks.ancestors(start) {
+                if matches!(blocks.header(id), BlockHeader::Fn | BlockHeader::Closure) {
+                    floor = blocks.blocks[id].open;
+                    break;
+                }
+            }
+        }
+        let line = scan.line(si);
+        let lo = line.saturating_sub(GUARD_WINDOW_LINES);
+        let guarded = (floor..si).rev().any(|j| {
+            scan.line(j) >= lo
+                && scan.kind(j) == Some(TokenKind::Ident)
+                && is_lock_name(scan.text(j))
+                && scan.is_punct(j + 1, '(')
+        });
+        if !guarded {
+            scan.push(
+                findings,
+                RuleId::CondvarNotifyUnguarded,
+                si,
+                format!(
+                    "`.{name}()` with no lock acquisition in the preceding {GUARD_WINDOW_LINES} \
+                     lines of this function; writing the flag outside the mutex loses wakeups"
+                ),
+            );
+        }
+    }
+}
+
+/// R7: per-block guard liveness — no blocking call under a live guard
+/// unless rooted at a guard, and lock-order edges stay acyclic.
+fn rule_guards(scan: &Scan<'_, '_>, blocks: &Blocks, findings: &mut Vec<Finding>) {
+    // Lock-order graph: edges (held, acquired) with the site that
+    // recorded them, checked incrementally for cycles.
+    let mut edges: Vec<(String, String)> = Vec::new();
+    for id in 0..blocks.blocks.len() {
+        let block = blocks.blocks[id];
+        for bind in bindings_in(scan, blocks, id) {
+            let Some(lock_si) = guard_lock_site(scan, blocks, id, &bind) else {
+                continue;
+            };
+            let Some(guard_name) = bind.names.first().cloned() else {
+                continue;
+            };
+            let held = lock_target(scan, lock_si);
+            let live_end =
+                drop_site(scan, bind.stmt_end, block.close, &guard_name).unwrap_or(block.close);
+            for j in bind.stmt_end..live_end {
+                if scan.excluded[j] || scan.kind(j) != Some(TokenKind::Ident) {
+                    continue;
+                }
+                let t = scan.text(j);
+                if BLOCKING_CALLS.contains(&t)
+                    && scan.is_punct(j - 1, '.')
+                    && scan.is_punct(j + 1, '(')
+                {
+                    let root = chain_root(scan, j);
+                    let rooted_at_guard = root == Some(guard_name.as_str())
+                        || root.is_none() && receiver_is_lock_call(scan, j);
+                    if !rooted_at_guard {
+                        scan.push(
+                            findings,
+                            RuleId::GuardAcrossBlocking,
+                            j,
+                            format!(
+                                "`.{t}(…)` while the guard `{guard_name}` (locked on line {}) \
+                                 is live; drop the guard before blocking",
+                                scan.line(bind.let_si)
+                            ),
+                        );
+                    }
+                }
+                // Nested acquisition while `guard_name` is held.
+                if is_lock_name(t) && scan.is_punct(j + 1, '(') && j != lock_si {
+                    if let (Some(a), Some(b)) = (held.clone(), lock_target(scan, j)) {
+                        if a != b {
+                            if reaches(&edges, &b, &a) {
+                                scan.push(
+                                    findings,
+                                    RuleId::LockOrder,
+                                    j,
+                                    format!(
+                                        "acquiring `{b}` while holding `{a}` conflicts with an \
+                                         earlier `{b}` → `{a}` acquisition order in this file"
+                                    ),
+                                );
+                            }
+                            edges.push((a, b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Does `bind` actually bind a *guard*? Three ways it does not:
+///
+/// - the initializer contains no lock call at all;
+/// - the lock is confined to a nested init block
+///   (`let job = { let g = rx.lock()…; g.recv() };` — released before
+///   the binding exists);
+/// - the bound value is *derived* from the guard in the same statement
+///   (`let leader = lock(&inflight).insert(key);` — the guard is a
+///   temporary dropped at the `;`).
+///
+/// Returns the lock-call site when the binding really holds the guard.
+fn guard_lock_site(
+    scan: &Scan<'_, '_>,
+    blocks: &Blocks,
+    block_id: usize,
+    bind: &crate::analysis::Binding,
+) -> Option<usize> {
+    let lock_si = (bind.init.0..bind.init.1).find(|&j| {
+        scan.kind(j) == Some(TokenKind::Ident)
+            && is_lock_name(scan.text(j))
+            && scan.is_punct(j + 1, '(')
+            && blocks.enclosing(j) == Some(block_id)
+    })?;
+    // Walk the chain after the lock call; poison-stripping adapters keep
+    // the guard, any other method call derives a non-guard value.
+    let mut k = scan.match_forward(lock_si + 1, '(', ')') + 1;
+    while scan.is_punct(k, '.') {
+        if matches!(
+            scan.text(k + 1),
+            "unwrap" | "expect" | "unwrap_or_else" | "into_inner"
+        ) && scan.is_punct(k + 2, '(')
+        {
+            k = scan.match_forward(k + 2, '(', ')') + 1;
+            continue;
+        }
+        return None;
+    }
+    Some(lock_si)
+}
+
+/// Name of the mutex a lock call acquires: the receiver field for
+/// `m.lock()` / `self.queue.lock()`, or the last identifier of the
+/// argument for `lock(&self.server.inflight)`.
+fn lock_target(scan: &Scan<'_, '_>, lock_si: usize) -> Option<String> {
+    if lock_si >= 2 && scan.is_punct(lock_si - 1, '.') {
+        if scan.kind(lock_si - 2) == Some(TokenKind::Ident) {
+            return Some(scan.text(lock_si - 2).to_string());
+        }
+        return None;
+    }
+    let close = scan.match_forward(lock_si + 1, '(', ')');
+    (lock_si + 2..close)
+        .rev()
+        .find(|&j| scan.kind(j) == Some(TokenKind::Ident) && !scan.is_punct(j + 1, '('))
+        .map(|j| scan.text(j).to_string())
+}
+
+/// Site of `drop(<name>…)` in `(start..end)`, if any.
+fn drop_site(scan: &Scan<'_, '_>, start: usize, end: usize, name: &str) -> Option<usize> {
+    (start..end).find(|&j| {
+        scan.is_ident(j, "drop") && scan.is_punct(j + 1, '(') && {
+            let close = scan.match_forward(j + 1, '(', ')');
+            (j + 2..close).any(|k| scan.is_ident(k, name))
+        }
+    })
+}
+
+/// Is `to` reachable from `from` in the edge list?
+fn reaches(edges: &[(String, String)], from: &str, to: &str) -> bool {
+    let mut stack = vec![from.to_string()];
+    let mut seen = vec![];
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
+        }
+        if seen.contains(&node) {
+            continue;
+        }
+        seen.push(node.clone());
+        for (a, b) in edges {
+            if *a == node {
+                stack.push(b.clone());
+            }
+        }
+    }
+    false
+}
+
+/// R8: `….spawn(…);` in statement position discards the join handle —
+/// panics in the worker become invisible until scope exit.
+fn rule_spawn_discard(scan: &Scan<'_, '_>, findings: &mut Vec<Finding>) {
+    for si in 0..scan.sig.len() {
+        if scan.excluded[si]
+            || !scan.is_ident(si, "spawn")
+            || !scan.is_punct(si + 1, '(')
+            || si == 0
+            || !scan.is_punct(si - 1, '.')
+        {
+            continue;
+        }
+        // Root of the receiver chain; the token before it decides
+        // statement position.
+        let mut root = si;
+        while root >= 2
+            && scan.is_punct(root - 1, '.')
+            && scan.kind(root - 2) == Some(TokenKind::Ident)
+        {
+            root -= 2;
+        }
+        if root == 0 {
+            continue;
+        }
+        let before = scan.text(root - 1);
+        let stmt_position = matches!(before, ";" | "{" | "}");
+        if !stmt_position {
+            continue;
+        }
+        let close = scan.match_forward(si + 1, '(', ')');
+        if scan.is_punct(close + 1, ';') {
+            scan.push(
+                findings,
+                RuleId::SpawnDiscard,
+                si,
+                "`spawn(…)` result discarded; bind the handle and consume its join result"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R8: `.join(…)` while a channel sender created in the same block is
+/// still live (no `drop(sender)` first, sender not moved into a spawn).
+pub(crate) fn rule_sender_live_join(
+    scan: &Scan<'_, '_>,
+    blocks: &Blocks,
+    findings: &mut Vec<Finding>,
+) {
+    for id in 0..blocks.blocks.len() {
+        let block = blocks.blocks[id];
+        for bind in bindings_in(scan, blocks, id) {
+            let is_channel = (bind.init.0..bind.init.1)
+                .any(|j| matches!(scan.text(j), "channel" | "sync_channel") && is_called(scan, j));
+            if !is_channel {
+                continue;
+            }
+            let Some(sender) = bind.names.first().cloned() else {
+                continue;
+            };
+            let dropped_at =
+                drop_site(scan, bind.stmt_end, block.close, &sender).unwrap_or(block.close);
+            let mut moved = false;
+            for j in bind.stmt_end..block.close {
+                if scan.excluded[j] {
+                    continue;
+                }
+                // Sender moved (not cloned) into a spawn call: the
+                // original binding is gone, joins are safe.
+                if scan.is_ident(j, "spawn") && scan.is_punct(j + 1, '(') {
+                    let close = scan.match_forward(j + 1, '(', ')');
+                    let mentions = (j + 2..close).any(|k| scan.is_ident(k, &sender));
+                    let clones = (j + 2..close).any(|k| {
+                        scan.is_ident(k, &sender)
+                            && scan.is_punct(k + 1, '.')
+                            && scan.is_ident(k + 2, "clone")
+                    });
+                    if mentions && !clones {
+                        moved = true;
+                    }
+                }
+                if j >= dropped_at || moved {
+                    continue;
+                }
+                if scan.is_ident(j, "join")
+                    && scan.is_punct(j + 1, '(')
+                    && j > 0
+                    && scan.is_punct(j - 1, '.')
+                {
+                    scan.push(
+                        findings,
+                        RuleId::SenderLiveJoin,
+                        j,
+                        format!(
+                            "`.join(…)` while channel sender `{sender}` (line {}) is still \
+                             live; a receiver looping until disconnect never exits — \
+                             `drop({sender})` first",
+                            scan.line(bind.let_si)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Is the identifier at `j` invoked — `name(…)` or `name::<T>(…)`?
+fn is_called(scan: &Scan<'_, '_>, j: usize) -> bool {
+    if scan.is_punct(j + 1, '(') {
+        return true;
+    }
+    // Turbofish: `name :: < … > (`.
+    if scan.is_punct(j + 1, ':') && scan.is_punct(j + 2, ':') && scan.is_punct(j + 3, '<') {
+        let mut depth = 0i64;
+        let mut k = j + 3;
+        while k < j + 40 {
+            match scan.text(k) {
+                "<" => depth += 1,
+                ">" if !scan.gt_is_arrow(k) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return scan.is_punct(k + 1, '(');
+                    }
+                }
+                "" => return false,
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    false
+}
+
+/// R8: `catch_unwind` results must be mapped to structured errors.
+fn rule_unwind_discard(scan: &Scan<'_, '_>, findings: &mut Vec<Finding>) {
+    for si in 0..scan.sig.len() {
+        if scan.excluded[si] || !scan.is_ident(si, "catch_unwind") || !scan.is_punct(si + 1, '(') {
+            continue;
+        }
+        // `let _ = …catch_unwind(…)` / `let _res = …` — walk back over
+        // the path (`std :: panic ::`) to the statement head.
+        let mut root = si;
+        while root >= 3
+            && scan.is_punct(root - 1, ':')
+            && scan.is_punct(root - 2, ':')
+            && scan.kind(root - 3) == Some(TokenKind::Ident)
+        {
+            root -= 3;
+        }
+        let discarded = if root >= 3
+            && scan.text(root - 1) == "="
+            && scan.kind(root - 2) == Some(TokenKind::Ident)
+            && scan.is_ident(root - 3, "let")
+        {
+            scan.text(root - 2).starts_with('_')
+        } else {
+            // Expression statement: `catch_unwind(…)…;` from statement
+            // position discards the Result outright.
+            matches!(scan.text(root.wrapping_sub(1)), ";" | "{" | "}")
+        };
+        if discarded {
+            scan.push(
+                findings,
+                RuleId::UnwindDiscard,
+                si,
+                "`catch_unwind` result discarded; map the `Err(payload)` to a structured \
+                 worker-panicked error"
+                    .to_string(),
+            );
+        }
+    }
+}

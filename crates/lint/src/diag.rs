@@ -4,9 +4,12 @@ use std::fmt;
 
 /// Identifier of one lint rule.
 ///
-/// The `R1`–`R5` groups from the design doc map onto these as:
+/// The `R1`–`R8` groups from the design doc map onto these as:
 /// R1 = `PanicCall` + `PanicMacro` + `PanicIndex`, R2 = `UnboundedAlloc`,
-/// R3 = `ErrorPayload` + `ErrorImpl`, R4 = `ThreadSpawn`, R5 = `DocMissing`.
+/// R3 = `ErrorPayload` + `ErrorImpl`, R4 = `ThreadSpawn`, R5 = `DocMissing`,
+/// R6 = `CondvarWaitLoop` + `CondvarPredUnguarded` + `CondvarNotifyUnguarded`,
+/// R7 = `GuardAcrossBlocking` + `LockOrder`,
+/// R8 = `SpawnDiscard` + `SenderLiveJoin` + `UnwindDiscard`.
 /// `PragmaSyntax`/`PragmaUnused` police the suppression mechanism itself
 /// and cannot be suppressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -29,6 +32,29 @@ pub enum RuleId {
     ThreadSpawn,
     /// Undocumented `pub` item in a library crate (R5).
     DocMissing,
+    /// `Condvar::wait*` whose enclosing statement is an `if` (or no loop
+    /// at all) instead of a `while`/`loop` predicate re-check (R6).
+    CondvarWaitLoop,
+    /// Identifier read in a condvar wait predicate that is not rooted at
+    /// the guard binding passed to the wait call (R6).
+    CondvarPredUnguarded,
+    /// `notify_one`/`notify_all` with no lock acquisition in the same or
+    /// an enclosing block before the notify (R6 — the lost-wakeup class).
+    CondvarNotifyUnguarded,
+    /// A live `.lock()` guard held across `.send()`/`.recv()`/`.join()`
+    /// or blocking I/O in the same block scope (R7).
+    GuardAcrossBlocking,
+    /// Inconsistent two-lock acquisition order within one file: the
+    /// lock-order graph built from nested acquisitions has a cycle (R7).
+    LockOrder,
+    /// `scope.spawn(…)` result discarded in statement position (R8).
+    SpawnDiscard,
+    /// `.join()` on a worker while a channel sender binding is still live
+    /// (no preceding `drop(sender)`) in the same function (R8).
+    SenderLiveJoin,
+    /// `catch_unwind` result discarded or bound to `_` instead of being
+    /// mapped to a structured error (R8).
+    UnwindDiscard,
     /// Malformed `// masc-lint: allow(…)` pragma.
     PragmaSyntax,
     /// Pragma that suppressed nothing.
@@ -36,7 +62,7 @@ pub enum RuleId {
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [RuleId; 10] = [
+pub const ALL_RULES: [RuleId; 18] = [
     RuleId::PanicCall,
     RuleId::PanicMacro,
     RuleId::PanicIndex,
@@ -45,6 +71,14 @@ pub const ALL_RULES: [RuleId; 10] = [
     RuleId::ErrorImpl,
     RuleId::ThreadSpawn,
     RuleId::DocMissing,
+    RuleId::CondvarWaitLoop,
+    RuleId::CondvarPredUnguarded,
+    RuleId::CondvarNotifyUnguarded,
+    RuleId::GuardAcrossBlocking,
+    RuleId::LockOrder,
+    RuleId::SpawnDiscard,
+    RuleId::SenderLiveJoin,
+    RuleId::UnwindDiscard,
     RuleId::PragmaSyntax,
     RuleId::PragmaUnused,
 ];
@@ -61,6 +95,14 @@ impl RuleId {
             RuleId::ErrorImpl => "error-impl",
             RuleId::ThreadSpawn => "thread-spawn",
             RuleId::DocMissing => "doc-missing",
+            RuleId::CondvarWaitLoop => "condvar-wait-loop",
+            RuleId::CondvarPredUnguarded => "condvar-pred-unguarded",
+            RuleId::CondvarNotifyUnguarded => "condvar-notify-unguarded",
+            RuleId::GuardAcrossBlocking => "guard-across-blocking",
+            RuleId::LockOrder => "lock-order",
+            RuleId::SpawnDiscard => "spawn-discard",
+            RuleId::SenderLiveJoin => "sender-live-join",
+            RuleId::UnwindDiscard => "unwind-discard",
             RuleId::PragmaSyntax => "pragma-syntax",
             RuleId::PragmaUnused => "pragma-unused",
         }
@@ -82,6 +124,17 @@ impl RuleId {
             "R3" => vec![RuleId::ErrorPayload, RuleId::ErrorImpl],
             "R4" => vec![RuleId::ThreadSpawn],
             "R5" => vec![RuleId::DocMissing],
+            "R6" => vec![
+                RuleId::CondvarWaitLoop,
+                RuleId::CondvarPredUnguarded,
+                RuleId::CondvarNotifyUnguarded,
+            ],
+            "R7" => vec![RuleId::GuardAcrossBlocking, RuleId::LockOrder],
+            "R8" => vec![
+                RuleId::SpawnDiscard,
+                RuleId::SenderLiveJoin,
+                RuleId::UnwindDiscard,
+            ],
             other => RuleId::parse(other).into_iter().collect(),
         }
     }

@@ -10,6 +10,9 @@
 //! - `store-io`    — Jacobian store I/O and spill handling. R1 + R2 apply.
 //! - `parser`      — text parsers (netlists, lint's own lexer). R1 + R2
 //!   apply.
+//! - `concurrency` — coordinates threads via mutexes, condvars, channels,
+//!   or scoped spawns. R6 (condvar discipline), R7 (lock hygiene), and
+//!   R8 (worker lifecycle) apply.
 //! - `skip`        — excluded from analysis entirely (generated code, …).
 //!
 //! Paths are workspace-relative with `/` separators; a prefix matches the
@@ -28,6 +31,8 @@ pub enum Class {
     StoreIo,
     /// Text parser.
     Parser,
+    /// Thread-coordination module (mutex/condvar/channel discipline).
+    Concurrency,
 }
 
 /// Per-file classification resolved from the manifest.
@@ -39,6 +44,8 @@ pub struct ClassSet {
     pub store_io: bool,
     /// File is in a `parser` region.
     pub parser: bool,
+    /// File is in a `concurrency` region.
+    pub concurrency: bool,
 }
 
 impl ClassSet {
@@ -82,12 +89,13 @@ impl Manifest {
                 "wire-decode" => manifest.entries.push((Class::WireDecode, path)),
                 "store-io" => manifest.entries.push((Class::StoreIo, path)),
                 "parser" => manifest.entries.push((Class::Parser, path)),
+                "concurrency" => manifest.entries.push((Class::Concurrency, path)),
                 "skip" => manifest.skips.push(path),
                 other => {
                     return Err(LintError::Manifest {
                         line: lineno,
                         reason: format!(
-                            "unknown class `{other}` (expected wire-decode, store-io, parser, or skip)"
+                            "unknown class `{other}` (expected wire-decode, store-io, parser, concurrency, or skip)"
                         ),
                     });
                 }
@@ -105,6 +113,7 @@ impl Manifest {
                     Class::WireDecode => set.wire_decode = true,
                     Class::StoreIo => set.store_io = true,
                     Class::Parser => set.parser = true,
+                    Class::Concurrency => set.concurrency = true,
                 }
             }
         }

@@ -112,23 +112,34 @@ pub fn analyze(input: FileInput<'_>) -> FileAnalysis {
         scan.rule_error_payload(&mut out.findings);
         scan.rule_doc_coverage(&mut out.findings);
     }
+    if input.classes.concurrency {
+        crate::concurrency::check(&scan, &mut out.findings);
+    }
     scan.rule_thread_spawn(&mut out.findings);
     scan.collect_error_types(&mut out);
     out
 }
 
-/// Token-stream view shared by the rules.
-struct Scan<'s, 't> {
-    input: FileInput<'s>,
+/// Token-stream view shared by the rules (including the R6–R8
+/// concurrency rules in [`crate::concurrency`], which layer a block tree
+/// from [`crate::analysis`] on top of it).
+pub(crate) struct Scan<'s, 't> {
+    pub(crate) input: FileInput<'s>,
     /// Full token stream, comments included.
-    tokens: &'t [Token],
+    pub(crate) tokens: &'t [Token],
     /// Indices into `tokens` of non-comment tokens.
-    sig: Vec<usize>,
+    pub(crate) sig: Vec<usize>,
     /// Per-`sig` index: token sits in a test item or macro body.
-    excluded: Vec<bool>,
+    pub(crate) excluded: Vec<bool>,
 }
 
 impl<'s, 't> Scan<'s, 't> {
+    /// Test-only constructor for the analysis-layer unit tests.
+    #[cfg(test)]
+    pub(crate) fn for_tests(input: FileInput<'s>, tokens: &'t [Token]) -> Self {
+        Self::new(input, tokens)
+    }
+
     fn new(input: FileInput<'s>, tokens: &'t [Token]) -> Self {
         let sig: Vec<usize> = tokens
             .iter()
@@ -147,34 +158,34 @@ impl<'s, 't> Scan<'s, 't> {
     }
 
     /// The `si`-th significant token, if any.
-    fn tok(&self, si: usize) -> Option<&Token> {
+    pub(crate) fn tok(&self, si: usize) -> Option<&Token> {
         self.sig.get(si).and_then(|&i| self.tokens.get(i))
     }
 
-    fn kind(&self, si: usize) -> Option<TokenKind> {
+    pub(crate) fn kind(&self, si: usize) -> Option<TokenKind> {
         self.tok(si).map(|t| t.kind)
     }
 
-    fn text(&self, si: usize) -> &str {
+    pub(crate) fn text(&self, si: usize) -> &str {
         self.tok(si).map(|t| t.text(self.input.src)).unwrap_or("")
     }
 
-    fn line(&self, si: usize) -> u32 {
+    pub(crate) fn line(&self, si: usize) -> u32 {
         self.tok(si).map(|t| t.line).unwrap_or(0)
     }
 
-    fn is_punct(&self, si: usize, c: char) -> bool {
+    pub(crate) fn is_punct(&self, si: usize, c: char) -> bool {
         self.kind(si) == Some(TokenKind::Punct) && self.text(si) == c.to_string().as_str()
     }
 
-    fn is_ident(&self, si: usize, s: &str) -> bool {
+    pub(crate) fn is_ident(&self, si: usize, s: &str) -> bool {
         self.kind(si) == Some(TokenKind::Ident) && self.text(si) == s
     }
 
     /// True when sig tokens `si` and `si + 1` are adjacent in the source
     /// (no whitespace/comments between) — used to recognize `->` and `=>`
     /// so their `>` is not mistaken for a closing angle bracket.
-    fn adjacent(&self, si: usize) -> bool {
+    pub(crate) fn adjacent(&self, si: usize) -> bool {
         match (self.tok(si), self.tok(si + 1)) {
             (Some(a), Some(b)) => a.end == b.start,
             _ => false,
@@ -182,14 +193,14 @@ impl<'s, 't> Scan<'s, 't> {
     }
 
     /// Is the `>` at `si` the tail of a `->` / `=>` arrow?
-    fn gt_is_arrow(&self, si: usize) -> bool {
+    pub(crate) fn gt_is_arrow(&self, si: usize) -> bool {
         si > 0 && (self.text(si - 1) == "-" || self.text(si - 1) == "=") && self.adjacent(si - 1)
     }
 
     /// Index of the sig token closing the bracket opened at `si_open`
     /// (`(`/`)`, `[`/`]`, `{`/`}`). Unbalanced input returns the last
     /// token index, keeping every scan bounded.
-    fn match_forward(&self, si_open: usize, open: char, close: char) -> usize {
+    pub(crate) fn match_forward(&self, si_open: usize, open: char, close: char) -> usize {
         let mut depth = 0i64;
         let mut si = si_open;
         while let Some(t) = self.tok(si) {
@@ -341,7 +352,13 @@ impl<'s, 't> Scan<'s, 't> {
         })
     }
 
-    fn push(&self, findings: &mut Vec<Finding>, rule: RuleId, si: usize, message: String) {
+    pub(crate) fn push(
+        &self,
+        findings: &mut Vec<Finding>,
+        rule: RuleId,
+        si: usize,
+        message: String,
+    ) {
         findings.push(Finding {
             rule,
             file: self.input.path.to_string(),

@@ -6,8 +6,9 @@
 //!
 //! - line 1 of every corpus file is `// lint-corpus: <flags>`, where the
 //!   comma/space-separated flags pick the hardened classes (`wire-decode`,
-//!   `store-io`, `parser`) and/or `lib` (enables the R3 payload and R5 doc
-//!   rules, as for library code);
+//!   `store-io`, `parser`), `concurrency` (enables the R6–R8 concurrency
+//!   rules), and/or `lib` (enables the R3 payload and R5 doc rules, as
+//!   for library code);
 //! - `//~ <rule>` at the end of a line marks an expected finding on that
 //!   line;
 //! - `//~^ <rule>` marks an expected finding on the *previous* line (used
@@ -41,6 +42,7 @@ fn parse_header(name: &str, src: &str) -> (ClassSet, bool) {
             "wire-decode" => classes.wire_decode = true,
             "store-io" => classes.store_io = true,
             "parser" => classes.parser = true,
+            "concurrency" => classes.concurrency = true,
             "lib" => is_lib = true,
             other => panic!("{name}: unknown lint-corpus flag `{other}`"),
         }

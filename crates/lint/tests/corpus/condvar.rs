@@ -1,0 +1,77 @@
+// lint-corpus: concurrency
+// R6: condvar discipline — wait loops, predicate guarding, notify under
+// the lock. Both directions for each sub-rule.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct Q {
+    items: Vec<u32>,
+    closed: bool,
+}
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+fn wait_under_if(m: &Mutex<Q>, cv: &Condvar) {
+    let mut g = m.lock().unwrap();
+    if g.items.is_empty() {
+        g = cv.wait(g).unwrap(); //~ condvar-wait-loop
+    }
+    drop(g);
+}
+
+fn wait_with_no_loop_at_all(m: &Mutex<Q>, cv: &Condvar) {
+    let g = m.lock().unwrap();
+    let _g = cv.wait(g).unwrap(); //~ condvar-wait-loop
+}
+
+fn closure_body_wait(m: &Mutex<Q>, cv: &Condvar) {
+    let waiter = || {
+        let g = m.lock().unwrap();
+        let _g = cv.wait(g).unwrap(); //~ condvar-wait-loop
+    };
+    waiter();
+}
+
+fn wait_in_while(m: &Mutex<Q>, cv: &Condvar) {
+    let mut g = m.lock().unwrap();
+    while g.items.is_empty() && !g.closed {
+        g = cv.wait(g).unwrap();
+    }
+}
+
+fn wait_in_loop_with_breaks(m: &Mutex<Q>, cv: &Condvar) -> Option<u32> {
+    let mut g = m.lock().unwrap();
+    loop {
+        if let Some(x) = g.items.pop() {
+            break Some(x);
+        }
+        if g.closed {
+            break None;
+        }
+        g = cv.wait(g).unwrap();
+    }
+}
+
+fn wait_while_loops_internally(m: &Mutex<Q>, cv: &Condvar) {
+    let g = cv.wait_while(m.lock().unwrap(), |q| q.items.is_empty()).unwrap();
+    drop(g);
+}
+
+fn predicate_polls_foreign_flag(m: &Mutex<Q>, cv: &Condvar) {
+    let mut g = m.lock().unwrap();
+    while !STOP.load(Ordering::SeqCst) {
+        g = cv.wait(g).unwrap(); //~ condvar-pred-unguarded
+    }
+    drop(g);
+}
+
+fn notify_without_lock(cv: &Condvar) {
+    STOP.store(true, Ordering::SeqCst);
+    cv.notify_all(); //~ condvar-notify-unguarded
+}
+
+fn notify_after_guarded_write(m: &Mutex<Q>, cv: &Condvar) {
+    m.lock().unwrap().closed = true;
+    cv.notify_all();
+}

@@ -1,0 +1,69 @@
+// lint-corpus: concurrency
+// R8: worker lifecycle — spawn handles consumed, senders dropped before
+// same-block joins, catch_unwind results mapped. Both directions.
+
+fn discards_spawn_handle() {
+    std::thread::scope(|s| {
+        s.spawn(|| ()); //~ spawn-discard
+    });
+}
+
+fn consumes_spawn_handle() {
+    std::thread::scope(|s| {
+        let h = s.spawn(|| ());
+        h.join().ok();
+    });
+}
+
+fn pushes_spawn_handle() {
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        handles.push(s.spawn(|| ()));
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+}
+
+fn joins_with_live_sender() {
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    std::thread::scope(|s| {
+        let h = s.spawn(move || while rx.recv().is_ok() {});
+        tx.send(1).ok();
+        h.join().ok(); //~ sender-live-join
+    });
+}
+
+fn drops_sender_before_join() {
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    std::thread::scope(|s| {
+        let h = s.spawn(move || while rx.recv().is_ok() {});
+        tx.send(1).ok();
+        drop(tx);
+        h.join().ok();
+    });
+}
+
+fn sender_moved_into_worker() {
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    std::thread::scope(|s| {
+        let h = s.spawn(move || tx.send(1).ok());
+        while rx.recv().is_ok() {}
+        let _ = h.join();
+    });
+}
+
+fn discards_unwind_result(f: impl FnOnce() + std::panic::UnwindSafe) {
+    let _ = std::panic::catch_unwind(f); //~ unwind-discard
+}
+
+fn statement_position_unwind(f: impl FnOnce() + std::panic::UnwindSafe) {
+    std::panic::catch_unwind(f); //~ unwind-discard
+}
+
+fn maps_unwind_result(f: impl FnOnce() + std::panic::UnwindSafe) -> Result<(), String> {
+    match std::panic::catch_unwind(f) {
+        Ok(()) => Ok(()),
+        Err(_) => Err("worker panicked".to_string()),
+    }
+}

@@ -1,0 +1,42 @@
+// lint-corpus: concurrency
+// R7: lock hygiene — guard liveness across blocking calls, and the
+// per-file lock-order graph. Both directions for each sub-rule.
+
+use std::io::Write;
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+fn send_under_guard(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap();
+    tx.send(*g).ok(); //~ guard-across-blocking
+}
+
+fn send_after_drop(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap();
+    let v = *g;
+    drop(g);
+    tx.send(v).ok();
+}
+
+fn guard_rooted_io_is_the_point(out: &Mutex<std::io::Stdout>) {
+    let mut w = out.lock().unwrap();
+    w.flush().ok();
+}
+
+fn join_under_guard(m: &Mutex<u32>, h: std::thread::JoinHandle<()>) {
+    let g = m.lock().unwrap();
+    let _ = *g;
+    h.join().ok(); //~ guard-across-blocking
+}
+
+fn consistent_order(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga + *gb
+}
+
+fn inverted_order(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let gb = b.lock().unwrap();
+    let ga = a.lock().unwrap(); //~ lock-order
+    *ga + *gb
+}

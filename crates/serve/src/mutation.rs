@@ -1,0 +1,51 @@
+//! Switchable injected defects for validating the conformance harness.
+//!
+//! Mirrors `masc_compress::mutation` / `masc_adjoint::mutation` for the
+//! job-server layer. Only compiled with the `mutation-hooks` feature,
+//! and inert until [`set_defect`] selects a defect at run time.
+//!
+//! The defect here is a *scheduling* bug, so its validating check is not
+//! a fuzz oracle but the deterministic interleaving explorer
+//! (`masc-conform --model-check`): arming [`Defect::LostWakeupClose`]
+//! switches the worker-queue close protocol to the pre-PR-8 shape —
+//! `closed` tracked outside the queue mutex — whose lost wakeup only a
+//! schedule-exploring harness can expose reliably.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Selectable injected defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Defect {
+    /// No defect (the default state).
+    None = 0,
+    /// The worker-queue `closed` flag is set *outside* the queue mutex
+    /// before `notify_all`, so the close can interleave between a
+    /// worker's predicate check and its `Condvar::wait` — the classic
+    /// lost wakeup: that worker parks forever and shutdown hangs.
+    LostWakeupClose = 1,
+}
+
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Activates `defect` process-wide. Tests must serialize around this.
+pub fn set_defect(defect: Defect) {
+    ACTIVE.store(defect as u8, Ordering::SeqCst);
+}
+
+/// Whether `defect` is currently active.
+pub fn active(defect: Defect) -> bool {
+    ACTIVE.load(Ordering::SeqCst) == defect as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_inert_by_default() {
+        set_defect(Defect::None);
+        assert!(active(Defect::None));
+        assert!(!active(Defect::LostWakeupClose));
+    }
+}

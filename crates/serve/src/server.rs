@@ -359,16 +359,31 @@ pub fn run_lines<R: BufRead, W: Write + Send>(
     let queue_ready = Condvar::new();
     let mut got_shutdown = false;
     let mut read_error: Option<std::io::Error> = None;
+    // Injected-defect switch: armed, the close protocol regresses to
+    // tracking `closed` outside the queue mutex (the pre-fix shape whose
+    // lost wakeup the interleaving explorer must expose). Unarmed and in
+    // normal builds the flag below is never consulted.
+    #[cfg(feature = "mutation-hooks")]
+    let closed_outside = std::sync::atomic::AtomicBool::new(false);
 
     std::thread::scope(|scope| {
         let workers = server.cfg.workers.max(1);
+        let mut lanes = Vec::with_capacity(workers);
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            lanes.push(scope.spawn(|| loop {
                 let item = {
                     let mut q = lock(&queue);
                     loop {
                         if let Some(item) = q.items.pop_front() {
                             break Some(item);
+                        }
+                        #[cfg(feature = "mutation-hooks")]
+                        if crate::mutation::active(crate::mutation::Defect::LostWakeupClose) {
+                            if closed_outside.load(Ordering::Relaxed) {
+                                break None;
+                            }
+                            q = queue_ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+                            continue;
                         }
                         if q.closed {
                             break None;
@@ -381,7 +396,7 @@ pub fn run_lines<R: BufRead, W: Write + Send>(
                     Some(Request::Stats) => respond(&out, &render_stats(server)),
                     Some(Request::Shutdown) | None => break,
                 }
-            });
+            }));
         }
 
         let mut line = String::new();
@@ -416,8 +431,27 @@ pub fn run_lines<R: BufRead, W: Write + Send>(
         }
         // Drain: workers finish everything already queued, then exit.
         // The flag flips under the queue lock (see [`JobQueue`]).
+        #[cfg(feature = "mutation-hooks")]
+        if crate::mutation::active(crate::mutation::Defect::LostWakeupClose) {
+            // BUG (injected): the close is published outside the queue
+            // mutex, so it can land between a worker's predicate check
+            // and its wait — the notify below is then lost forever.
+            closed_outside.store(true, Ordering::Relaxed);
+        }
         lock(&queue).closed = true;
         queue_ready.notify_all();
+        // Consume every lane's join result: `answer_solve` catches
+        // per-job panics, so an `Err` here means a lane died outside a
+        // job — report it instead of letting scope exit re-raise it
+        // after `BYE` has already been written.
+        for lane in lanes {
+            if lane.join().is_err() {
+                respond(
+                    &out,
+                    &protocol::render_err("-", "worker", "worker lane panicked outside a job"),
+                );
+            }
+        }
     });
 
     respond(&out, "BYE");

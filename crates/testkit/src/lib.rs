@@ -12,7 +12,12 @@
 //! - [`mod@prop`] — the [`prop!`] test macro and runner: fixed-seed cases,
 //!   `MASC_PROP_REPRO=<seed>` single-case reproduction, greedy shrinking;
 //! - [`mod@bench`] — a warmup + median wall-clock timer standing in for
-//!   criterion, used by `crates/bench/benches/*`.
+//!   criterion, used by `crates/bench/benches/*`;
+//! - [`mod@sched`] — a deterministic interleaving explorer: seeded
+//!   schedule enumeration over instrumented mutex/condvar/channel shims,
+//!   with `MASC_SCHED_REPRO=<seed>` replay and preemption-trace shrinking,
+//!   used by `masc-conform --model-check` to model-check the worker-pool
+//!   coordination cores.
 //!
 //! # Examples
 //!
@@ -37,6 +42,7 @@ pub mod bench;
 pub mod gen;
 pub mod prop;
 pub mod rng;
+pub mod sched;
 
 pub use gen::Gen;
 pub use rng::Rng;

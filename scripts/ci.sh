@@ -16,8 +16,19 @@ run cargo build --release --offline --workspace --benches
 run env RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 run cargo run -q --offline --release -p masc-lint
 run cargo test -q --offline -p masc-lint
+# Scheduler-shim coverage runs serially: each exploration gates its own
+# virtual threads, and serial order keeps the explorer's quiet panic
+# hook from masking unrelated test output.
+run cargo test -q --offline -p masc-testkit --test sched -- --test-threads=1
 run cargo test -q --offline --workspace
 run cargo run -q --offline --release -p masc-conform -- --budget 30 --seed 4
+# Model-check gate: the deterministic interleaving explorer sweeps the
+# worker-pool coordination models (serve queue close + single-flight,
+# pipelined commit order, window dirty sweep) under a wall-clock budget.
+# It prints schedules-explored per model; on failure it prints the
+# minimized preemption trace and a MASC_SCHED_REPRO seed to replay the
+# exact schedule.
+run cargo run -q --offline --release -p masc-conform -- --model-check --budget 20
 # Thread-scaling regression gate: quick sweep, modeled 4-thread compress
 # speedup must hold (chunk independence / serial-section regression check).
 run cargo run -q --offline --release -p masc-bench --bin scaling -- \
